@@ -1,0 +1,40 @@
+"""Ablations of the design choices DESIGN.md calls out:
+
+1. semi-naive (incrementalized) vs naive evaluation (Section 2.4.1),
+2. variable order: context bits deepest vs first (Section 2.4.2),
+3. type filtering cost/benefit (Section 2.3),
+4. contiguous vs randomized context numbering (Section 4.1).
+"""
+
+from conftest import write_result
+
+from repro.bench.harness import ablation_table
+
+
+def test_ablations(benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: ablation_table("jboss"), rounds=1, iterations=1
+    )
+    write_result("ablation.txt", text)
+    by_name = {r["ablation"]: r for r in rows}
+
+    seminaive = by_name["seminaive"]
+    # Incrementalization reduces work; on BDD workloads the win shows up
+    # primarily in rule applications touching non-empty deltas.
+    assert seminaive["fast_s"] <= seminaive["naive_s"] * 1.5
+
+    order = by_name["order"]
+    # Putting the exploding context bits closest to the terminals is what
+    # lets similar contexts share structure.
+    assert order["good_nodes"] <= order["bad_nodes"]
+    assert order["good_s"] <= order["bad_s"] * 1.2
+
+    typefilter = by_name["typefilter"]
+    # "Along with being more accurate, the points-to sets are much
+    # smaller in the type-filtered version."
+    assert typefilter["on_tuples"] <= typefilter["off_tuples"]
+
+    numbering = by_name["numbering"]
+    # "It is important to find a context numbering scheme that allows the
+    # BDDs to share commonalities across contexts."
+    assert numbering["contiguous_nodes"] <= numbering["shuffled_nodes"]

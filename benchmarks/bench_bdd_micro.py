@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the BDD kernel operations the solver leans on:
+rel_prod (join+project), replace (rename), the contiguous-range and
+add-constant primitives, and tuple loading."""
+
+import pytest
+
+from repro.bdd import BDD, Domain
+from repro.bdd.domain import equality_relation, offset_relation
+from repro.bdd.ordering import assign_levels
+
+
+@pytest.fixture()
+def setup():
+    bits = {"A": 16, "B": 16, "C": 16}
+    levels = assign_levels("AxBxC", bits)
+    mgr = BDD(num_vars=48)
+    doms = {
+        name: Domain(mgr, name, 1 << 16, levels[name]) for name in bits
+    }
+    return mgr, doms
+
+
+def _random_relation(mgr, a, b, seed, n=400):
+    import random
+
+    rng = random.Random(seed)
+    node = 0
+    for _ in range(n):
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        node = mgr.or_(node, mgr.and_(a.eq_const(x), b.eq_const(y)))
+    return node
+
+
+def test_rel_prod(setup, benchmark):
+    mgr, doms = setup
+    r1 = _random_relation(mgr, doms["A"], doms["B"], seed=1)
+    r2 = _random_relation(mgr, doms["B"], doms["C"], seed=2)
+    varset = mgr.varset(doms["B"].levels)
+
+    def kernel():
+        mgr.clear_caches()
+        return mgr.rel_prod(r1, r2, varset)
+
+    result = benchmark(kernel)
+    assert result != 0 or True
+
+
+def test_replace(setup, benchmark):
+    mgr, doms = setup
+    r1 = _random_relation(mgr, doms["A"], doms["B"], seed=3)
+    mapping = doms["A"].replace_map_to(doms["C"])
+
+    def kernel():
+        mgr.clear_caches()
+        return mgr.replace(r1, mapping)
+
+    benchmark(kernel)
+
+
+def test_range_primitive(setup, benchmark):
+    mgr, doms = setup
+    dom = doms["A"]
+
+    def kernel():
+        out = 0
+        for lo in range(0, 60000, 1000):
+            out = mgr.or_(out, dom.range_bdd(lo, lo + 500))
+        return out
+
+    benchmark(kernel)
+
+
+def test_offset_relation(setup, benchmark):
+    mgr, doms = setup
+    a, b = doms["A"], doms["B"]
+
+    def kernel():
+        out = 0
+        for delta in range(0, 2000, 100):
+            out = mgr.or_(out, offset_relation(a, b, delta, 1, 30000))
+        return out
+
+    benchmark(kernel)
+
+
+def test_equality_relation(setup, benchmark):
+    mgr, doms = setup
+    benchmark(lambda: equality_relation(doms["A"], doms["C"]))
+
+
+def test_tuple_loading(setup, benchmark):
+    mgr, doms = setup
+    a, b = doms["A"], doms["B"]
+
+    def kernel():
+        node = 0
+        for i in range(300):
+            node = mgr.or_(node, mgr.and_(a.eq_const(i * 7 % 9999),
+                                          b.eq_const(i * 13 % 9999)))
+        return node
+
+    benchmark(kernel)

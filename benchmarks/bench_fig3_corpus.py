@@ -1,0 +1,41 @@
+"""Figure 3: benchmark vitals — classes, methods, statements, variables,
+allocation sites, and the number of context-sensitive (reduced call)
+paths per corpus entry.
+
+The timed kernel is the part unique to this figure: Algorithm 4's exact
+path counting over the discovered call graph.
+"""
+
+from conftest import write_result
+
+from repro.analysis import ContextInsensitiveAnalysis
+from repro.bench.corpus import corpus_entry
+from repro.bench.harness import fig3_table
+from repro.callgraph import number_call_graph
+from repro.ir import extract_facts
+
+
+def test_fig3_table(corpus_runs, benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: fig3_table(corpus_runs), rounds=1, iterations=1
+    )
+    write_result("fig3.txt", text)
+    # Shape assertions: sizes grow along the corpus, and the paths column
+    # is wildly super-linear in the method count (the paper's point).
+    assert rows[0]["name"] == "freetts"
+    assert rows[-1]["methods"] >= rows[0]["methods"]
+    largest = max(rows, key=lambda r: r["paths"])
+    assert largest["paths"] > 10 ** 6
+    assert largest["paths"] > 10 ** 3 * largest["methods"]
+
+
+def test_path_numbering_speed(benchmark):
+    """Algorithm 4 itself is fast even when counting 10^13+ paths: the
+    counts are big-integer arithmetic over the condensation."""
+    facts = extract_facts(corpus_entry("jbidwatch").build())
+    ci = ContextInsensitiveAnalysis(facts=facts).run()
+    graph = ci.discovered_call_graph
+    entry = facts.method_id("Main.main")
+
+    numbering = benchmark(lambda: number_call_graph(graph, entries=[entry]))
+    assert numbering.max_paths() > 10 ** 12

@@ -1,0 +1,103 @@
+"""Figure 4: analysis times and peak BDD memory for every algorithm.
+
+Per-algorithm kernels are timed with pytest-benchmark on a mid-size entry
+(the paper's wall-clock columns), and the full table is regenerated from
+the session's corpus runs.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+    ContextSensitiveTypeAnalysis,
+    ThreadEscapeAnalysis,
+)
+from repro.bench.corpus import corpus_entry
+from repro.bench.harness import fig4_table
+from repro.callgraph import cha_call_graph
+from repro.ir import extract_facts
+
+ENTRY = "jetty"
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    facts = extract_facts(corpus_entry(ENTRY).build())
+    cha = cha_call_graph(facts)
+    ci = ContextInsensitiveAnalysis(facts=facts).run()
+    return facts, cha, ci.discovered_call_graph
+
+
+def test_algorithm1_context_insensitive(prepared, benchmark):
+    facts, cha, _ = prepared
+    result = benchmark(
+        lambda: ContextInsensitiveAnalysis(
+            facts=facts, type_filtering=False, discover_call_graph=False,
+            call_graph=cha,
+        ).run()
+    )
+    assert not result.relation("vP").is_empty()
+
+
+def test_algorithm2_type_filtering(prepared, benchmark):
+    facts, cha, _ = prepared
+    result = benchmark(
+        lambda: ContextInsensitiveAnalysis(
+            facts=facts, type_filtering=True, discover_call_graph=False,
+            call_graph=cha,
+        ).run()
+    )
+    assert not result.relation("vP").is_empty()
+
+
+def test_algorithm3_call_graph_discovery(prepared, benchmark):
+    facts, _, _ = prepared
+    result = benchmark(
+        lambda: ContextInsensitiveAnalysis(facts=facts).run()
+    )
+    assert result.discovered_call_graph.edge_count() > 0
+
+
+def test_algorithm5_context_sensitive(prepared, benchmark):
+    facts, _, graph = prepared
+    result = benchmark(
+        lambda: ContextSensitiveAnalysis(facts=facts, call_graph=graph).run()
+    )
+    assert result.max_paths() > 1000
+
+
+def test_algorithm6_type_analysis(prepared, benchmark):
+    facts, _, graph = prepared
+    result = benchmark(
+        lambda: ContextSensitiveTypeAnalysis(facts=facts, call_graph=graph).run()
+    )
+    assert not result.vTC.is_empty()
+
+
+def test_algorithm7_thread_escape(prepared, benchmark):
+    facts, _, graph = prepared
+    result = benchmark(
+        lambda: ThreadEscapeAnalysis(facts=facts, call_graph=graph).run()
+    )
+    assert result.summary()["captured"] > 0
+
+
+def test_fig4_table(corpus_runs, benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: fig4_table(corpus_runs), rounds=1, iterations=1
+    )
+    write_result("fig4.txt", text)
+    for row in rows:
+        # The paper's qualitative shape: context-sensitive pointer
+        # analysis dominates cost; type filtering stays cheap; the
+        # thread-sensitive analysis is comparable to context-insensitive.
+        assert row["alg5"][0] >= row["alg2"][0] * 0.5
+        assert row["alg5"][1] >= row["alg2"][1]
+        assert row["alg3_iterations"] >= 2
+    # Across the corpus, at least one entry shows the full ordering
+    # CI <= CS-type <= CS-pointer on time.
+    assert any(
+        r["alg2"][0] <= r["alg6"][0] <= r["alg5"][0] for r in rows
+    )

@@ -1,0 +1,27 @@
+"""Figure 5: thread escape analysis — captured/escaped objects and
+unneeded/needed synchronization operations per corpus entry."""
+
+from conftest import write_result
+
+from repro.bench.corpus import corpus_entry
+from repro.bench.harness import fig5_table
+
+
+def test_fig5_table(corpus_runs, benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: fig5_table(corpus_runs), rounds=1, iterations=1
+    )
+    write_result("fig5.txt", text)
+    by_name = {r["name"]: r for r in rows}
+    for row in rows:
+        entry = corpus_entry(row["name"])
+        if entry.params.threads == 0:
+            # "The single-threaded benchmarks have only one escaped
+            # object: the global object."
+            assert row["escaped"] == 1
+            assert row["sync_needed"] == 0
+        else:
+            assert row["escaped"] > 1
+            assert row["sync_needed"] >= 1
+        # The analysis always captures a healthy share of allocations.
+        assert row["captured"] > row["escaped"]

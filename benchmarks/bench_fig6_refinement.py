@@ -1,0 +1,36 @@
+"""Figure 6: type refinement precision under the six analysis variants —
+context-insensitive without/with type filtering, projected
+context-sensitive pointer/type results, and fully context-sensitive
+pointer/type results."""
+
+from conftest import write_result
+
+from repro.bench.harness import fig6_table
+
+
+def test_fig6_table(corpus_runs, benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: fig6_table(corpus_runs), rounds=1, iterations=1
+    )
+    write_result("fig6.txt", text)
+    for row in rows:
+        ci_nf = row["ci_nofilter"]
+        ci_f = row["ci_filter"]
+        proj_p = row["cs_pointer_proj"]
+        full_p = row["cs_pointer_full"]
+        full_t = row["cs_type_full"]
+        # "Including the type filtering makes the algorithm strictly more
+        # precise.  Likewise, the context-sensitive pointer analysis is
+        # strictly more precise than both the context-insensitive pointer
+        # analysis and the context-sensitive type analysis."
+        assert ci_nf[0] >= ci_f[0]          # multi% drops with filtering
+        assert ci_f[0] >= proj_p[0]         # ... and with context sensitivity
+        assert proj_p[0] >= full_p[0]       # projection loses precision
+        assert full_t[0] >= full_p[0]       # pointers beat types
+        # "As the precision increases ... the percentage of refinable
+        # variables increases."
+        assert full_p[1] >= ci_f[1]
+        # "The percentage of multi-typed variables is never greater than
+        # 1% for the pointer analysis and 2% for the type analysis."
+        assert full_p[0] <= 1.0
+        assert full_t[0] <= 3.0

@@ -1,0 +1,64 @@
+"""Points-to precision metrics across the analysis ladder.
+
+Complements Figure 6's client-level precision with the literature's
+direct metrics: average points-to set size, max set size, and the
+singleton ratio, for CI-no-filter, CI-filtered, 1-CFA, and full cloning.
+"""
+
+from conftest import write_result
+
+from repro.analysis import ContextInsensitiveAnalysis, ContextSensitiveAnalysis
+from repro.analysis.compare import compare_precision, precision_stats
+from repro.bench.corpus import corpus_entry
+from repro.ir import extract_facts
+
+ENTRY = "jetty"
+
+
+def test_precision_ladder(benchmark):
+    facts = extract_facts(corpus_entry(ENTRY).build())
+
+    def run_ladder():
+        nofilter = ContextInsensitiveAnalysis(
+            facts=facts, type_filtering=False, discover_call_graph=True
+        ).run()
+        filtered = ContextInsensitiveAnalysis(facts=facts).run()
+        graph = filtered.discovered_call_graph
+        cfa = ContextSensitiveAnalysis(
+            facts=facts, call_graph=graph, context_policy="1cfa"
+        ).run()
+        full = ContextSensitiveAnalysis(facts=facts, call_graph=graph).run()
+        return nofilter, filtered, cfa, full
+
+    nofilter, filtered, cfa, full = benchmark.pedantic(
+        run_ladder, rounds=1, iterations=1
+    )
+
+    rows = [
+        ("CI, no filter", precision_stats(nofilter)),
+        ("CI, filtered", precision_stats(filtered)),
+        ("1-CFA", precision_stats(cfa)),
+        ("full cloning", precision_stats(full)),
+    ]
+    lines = [
+        f"Points-to precision ladder on corpus entry '{ENTRY}':",
+        f"{'analysis':<16}{'avg |pts|':>10}{'max':>6}{'singleton %':>13}",
+    ]
+    for label, stats in rows:
+        lines.append(
+            f"{label:<16}{stats.average_set_size:>10.2f}"
+            f"{stats.max_set_size:>6}{100 * stats.singleton_ratio:>12.1f}%"
+        )
+    write_result("precision.txt", "\n".join(lines))
+
+    # Monotone ladder on average set size.
+    averages = [stats.average_set_size for _, stats in rows]
+    assert averages[0] >= averages[1] >= averages[2] >= averages[3]
+    # And on singleton ratio (reversed).
+    singletons = [stats.singleton_ratio for _, stats in rows]
+    assert singletons[0] <= singletons[1] <= singletons[3]
+
+    # Pairwise diffs carry no soundness regressions.
+    diff = compare_precision(filtered, full)
+    assert diff.regressed == []
+    assert diff.improved

@@ -1,0 +1,30 @@
+"""Section 6.2's scaling observation: "the analysis time of the
+context-sensitive algorithm scales approximately with O(lg^2 n) where n is
+the number of paths in the call graph"."""
+
+import math
+
+from conftest import write_result
+
+from repro.bench.harness import scaling_table
+
+
+def test_scaling_polylog_in_paths(benchmark):
+    text, rows = benchmark.pedantic(
+        lambda: scaling_table(layer_counts=(8, 14, 20, 26, 32, 38, 44)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("scaling.txt", text)
+    first, last = rows[0], rows[-1]
+    path_blowup = last["paths"] / max(first["paths"], 1)
+    time_blowup = last["seconds"] / max(first["seconds"], 1e-9)
+    # Paths explode by many orders of magnitude; time must stay polylog —
+    # allow a generous constant, but rule out anything near-linear.
+    assert path_blowup > 10 ** 6
+    assert time_blowup < 1000
+    assert time_blowup < path_blowup ** 0.01 * 100
+    # And the normalized cost s/lg^2(n) should stay within one order of
+    # magnitude across the sweep once contexts dominate.
+    tail = [r["seconds_per_lg2"] for r in rows[2:]]
+    assert max(tail) / max(min(tail), 1e-9) < 12

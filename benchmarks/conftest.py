@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+By default the benchmarks run on the fast corpus subset; set
+``REPRO_BENCH_FULL=1`` to cover all 21 entries (a few minutes).  Each
+figure's bench writes its regenerated table under ``results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.corpus import corpus_names
+from repro.bench.harness import run_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "results"
+
+
+def bench_names():
+    full = os.environ.get("REPRO_BENCH_FULL") == "1"
+    return corpus_names(small=not full)
+
+
+@pytest.fixture(scope="session")
+def corpus_runs():
+    """One full measurement pass per selected corpus entry, shared by all
+    figure benchmarks in the session."""
+    return [run_benchmark(name) for name in bench_names()]
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")

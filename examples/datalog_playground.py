@@ -1,0 +1,91 @@
+"""Using the Datalog engine directly, as a deductive database.
+
+bddbddb is general-purpose: "pointer analysis, and many other queries and
+algorithms, can be described succinctly and declaratively using Datalog."
+This example solves a program-independent problem — reachability and
+dominance-ish queries over a build dependency graph — then uses the
+provenance facility to explain an answer, and checkpoints the result.
+
+Run:  python examples/datalog_playground.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datalog import Solver, explain, format_derivation, parse_program
+from repro.datalog.io import save_solver_outputs
+
+PROGRAM = """
+# Build-system dependency analysis.
+.domains
+T 64    # build targets
+
+.relations
+dep       (target : T0, needs : T1) input
+changed   (target : T) input
+needs     (target : T0, dependency : T1) output
+dirty     (target : T) output
+clean     (target : T) output
+root      (target : T) output
+
+.rules
+# Transitive dependencies.
+needs(t, d)  :- dep(t, d).
+needs(t, d2) :- needs(t, d1), dep(d1, d2).
+
+# A target is dirty when anything it (transitively) needs changed.
+dirty(t) :- changed(t).
+dirty(t) :- needs(t, d), changed(d).
+
+# Clean targets, and roots nothing depends on.
+clean(t) :- dep(t, _), !dirty(t).
+root(t)  :- dep(t, _), !needs(_, t).
+"""
+
+TARGETS = [
+    "app", "gui", "core", "net", "json", "log", "tests",
+]
+DEPS = [
+    ("app", "gui"), ("app", "core"),
+    ("gui", "core"), ("gui", "log"),
+    ("core", "json"), ("core", "log"),
+    ("net", "json"), ("tests", "app"), ("tests", "net"),
+]
+CHANGED = ["log"]
+
+
+def main() -> None:
+    ids = {name: i for i, name in enumerate(TARGETS)}
+    solver = Solver(parse_program(PROGRAM), name_maps={"T": TARGETS})
+    solver.add_tuples("dep", [(ids[a], ids[b]) for a, b in DEPS])
+    solver.add_tuples("changed", [(ids[t],) for t in CHANGED])
+    stats = solver.solve()
+    print(f"solved in {stats.seconds * 1000:.1f} ms, "
+          f"{stats.rule_applications} rule applications\n")
+
+    print("dirty targets (must rebuild):")
+    for (name,) in sorted(solver.named_tuples("dirty")):
+        print(f"  {name}")
+    print("clean targets:")
+    for (name,) in sorted(solver.named_tuples("clean")):
+        print(f"  {name}")
+
+    print("\nWhy is 'app' dirty?  (log changed; app -> gui -> log)")
+    derivation = explain(solver, "dirty", (ids["app"],))
+    print(format_derivation(derivation, solver))
+
+    print("\nMost expensive rules:")
+    for profile in solver.rule_profile()[:3]:
+        print(
+            f"  {profile.seconds * 1000:6.2f} ms  "
+            f"x{profile.applications:<3} {profile.rule}"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        counts = save_solver_outputs(solver, tmp)
+        files = sorted(p.name for p in Path(tmp).iterdir())
+        print(f"\ncheckpointed {sum(counts.values())} tuples: {files}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""The paper's Figure 1 / Example 1-2 worked example, reproduced.
+
+A six-method call graph where M2 and M3 form a strongly connected
+component.  Algorithm 4 collapses the SCC, walks the reduced graph in
+topological order, and numbers every reduced call path with a contiguous
+range — M6 ends up with six clones, matching Figure 2's table.
+
+Run:  python examples/path_numbering.py
+"""
+
+from repro.bdd import BDD, Domain, bits_for
+from repro.callgraph import CallGraph, number_call_graph
+
+EDGES = [
+    # (name, caller, callee) as drawn in Figure 1.
+    ("a", 1, 2),
+    ("b", 1, 3),
+    ("c", 2, 3),  # inside the SCC {M2, M3}
+    ("d", 3, 2),  # inside the SCC {M2, M3}
+    ("e", 2, 4),
+    ("f", 3, 4),
+    ("g", 3, 5),
+    ("h", 4, 6),
+    ("i", 5, 6),
+]
+
+
+def main() -> None:
+    graph = CallGraph()
+    for site, (name, caller, callee) in enumerate(EDGES):
+        graph.add_edge(site, caller, callee)
+
+    numbering = number_call_graph(graph, entries=[1])
+
+    print("Context counts (clones per method):")
+    for m in range(1, 7):
+        print(f"  M{m}: {numbering.num_contexts(m)}")
+    print(f"\nReduced call paths reaching M6: {numbering.num_contexts(6)}")
+    print("(the paper's Figure 2 lists the same six reduced paths)\n")
+
+    print("Numbered invocation edges (caller range -> callee range):")
+    name_of = {site: name for site, (name, _, _) in enumerate(EDGES)}
+    for rng in numbering.ranges:
+        src = f"[{rng.lo}..{rng.hi}]"
+        if rng.collapse_to is not None:
+            dst = f"[{rng.collapse_to}] (merged overflow)"
+        else:
+            dst = f"[{rng.lo + rng.delta}..{rng.hi + rng.delta}]"
+        print(
+            f"  edge {name_of[rng.site]}: M{rng.caller}{src} -> M{rng.callee}{dst}"
+        )
+
+    # Build the IEC relation symbolically, exactly as Algorithm 5 uses it.
+    c_size = numbering.context_domain_size()
+    c_bits = bits_for(c_size)
+    mgr = BDD(num_vars=2 * c_bits + 8)
+    c0 = Domain(mgr, "C0", c_size, list(range(0, 2 * c_bits, 2)))
+    c1 = Domain(mgr, "C1", c_size, list(range(1, 2 * c_bits, 2)))
+    i0 = Domain(mgr, "I0", 16, list(range(2 * c_bits, 2 * c_bits + 4)))
+    m0 = Domain(mgr, "M0", 16, list(range(2 * c_bits + 4, 2 * c_bits + 8)))
+    node = numbering.build_iec(mgr, c0, i0, c1, m0)
+    count = mgr.sat_count(
+        node, list(c0.levels) + list(i0.levels) + list(c1.levels) + list(m0.levels)
+    )
+    print(f"\nIEC as a BDD: {count} context-sensitive invocation-edge tuples")
+    print(f"represented in {mgr.node_count()} BDD nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: analyze a small program context-insensitively and
+context-sensitively, and see exactly why cloning matters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze
+from repro.ir.frontend import parse_program
+
+SOURCE = """
+class Box {
+    field item : Object;
+}
+
+class Helper {
+    static method put(b : Box, o : Object) {
+        b.item = o;
+    }
+    static method get(b : Box) returns Object {
+        r = b.item;
+        return r;
+    }
+}
+
+class Main {
+    static method main() {
+        apples = new Box;
+        oranges = new Box;
+        apple = new Object;
+        orange = new Object;
+        Helper.put(apples, apple);
+        Helper.put(oranges, orange);
+        x = Helper.get(apples);
+        y = Helper.get(oranges);
+    }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE, include_library=False)
+
+    print("== Context-insensitive (Algorithm 3: on-the-fly call graph) ==")
+    ci = analyze(program)
+    for var in ("x", "y"):
+        print(f"  {var} may point to:")
+        for heap in sorted(ci.points_to("Main.main", var)):
+            print(f"      {heap}")
+    print("  -> both calls to Helper.get are merged: x and y each see")
+    print("     BOTH objects, although the program never mixes them.\n")
+
+    print("== Context-sensitive (Algorithms 4 + 5: cloning + BDDs) ==")
+    cs = analyze(program, context_sensitive=True)
+    for var in ("x", "y"):
+        print(f"  {var} may point to:")
+        for heap in sorted(cs.points_to("Main.main", var)):
+            print(f"      {heap}")
+    print(f"  Helper.get was cloned into {cs.num_contexts('Helper.get')} contexts;")
+    print(f"  the call graph has {cs.max_paths()} reduced call paths.")
+    print("  -> each call site sees exactly the object it stored.")
+
+    print("\n== Per-context detail ==")
+    for context in (1, 2):
+        pts = cs.points_to_in_context("Helper.get", "r", context)
+        print(f"  clone {context} of Helper.get: r -> {sorted(pts)}")
+
+    print("\nSolver statistics:", cs.solver.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Sections 5.3 / 6.3: type refinement — how much tighter could the
+declared types be, under increasingly precise analyses?
+
+Reproduces one row of Figure 6 on a small program: context-insensitive
+(with/without type filtering), projected context-sensitive, and fully
+context-sensitive variants.
+
+Run:  python examples/type_refinement.py
+"""
+
+from repro.analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+)
+from repro.analysis.queries import refinement_stats
+from repro.ir import extract_facts
+from repro.ir.frontend import parse_program
+
+SOURCE = """
+class Shape { }
+class Circle extends Shape { }
+class Square extends Shape { }
+
+class Pipeline {
+    static method relay(s : Shape) returns Shape {
+        return s;
+    }
+}
+
+class Main {
+    static method main() {
+        var a : Shape;
+        var b : Shape;
+        var onlyCircles : Shape;
+        c = new Circle;
+        s = new Square;
+        a = Pipeline.relay(c);
+        b = Pipeline.relay(s);
+        onlyCircles = new Circle;
+    }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE, include_library=False)
+    facts = extract_facts(program)
+
+    nofilter = ContextInsensitiveAnalysis(
+        facts=facts, type_filtering=False, discover_call_graph=True,
+        query_fragments=["query_refinement_ci"],
+    ).run()
+    filtered = ContextInsensitiveAnalysis(
+        facts=facts, query_fragments=["query_refinement_ci"]
+    ).run()
+    cs = ContextSensitiveAnalysis(
+        facts=facts,
+        call_graph=filtered.discovered_call_graph,
+        query_fragments=["query_refinement_cs_pointer"],
+    ).run()
+
+    rows = [
+        ("context-insensitive, no filter", refinement_stats(nofilter, "ci")),
+        ("context-insensitive, filtered", refinement_stats(filtered, "ci")),
+        ("context-sensitive, projected", refinement_stats(cs, "projected")),
+        ("context-sensitive, full", refinement_stats(cs, "full")),
+    ]
+    print(f"{'variant':<34}{'multi-typed %':>14}{'refinable %':>13}")
+    print("-" * 61)
+    for label, stats in rows:
+        print(f"{label:<34}{stats.multi:>14.1f}{stats.refinable:>13.1f}")
+
+    print()
+    print("Under the context-insensitive analysis, `a` and `b` both look")
+    print("like {Circle, Square} because Pipeline.relay merges its callers;")
+    print("the cloned analysis keeps them single-typed, so both variables")
+    print("become refinable to their concrete classes.")
+
+    # Show the concrete evidence.
+    for var in ("a", "b"):
+        ci_types = {
+            facts.maps["T"][t]
+            for v, t in filtered.solver.relation("varExactTypes").tuples()
+            if v == facts.var_id("Main.main", var)
+        }
+        cs_types = {
+            facts.maps["T"][t]
+            for v, t in cs.solver.relation("varExactTypesP").tuples()
+            if v == facts.var_id("Main.main", var)
+        }
+        print(f"  {var}: CI sees {sorted(ci_types)}, CS sees {sorted(cs_types)}")
+
+
+if __name__ == "__main__":
+    main()

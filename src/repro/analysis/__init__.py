@@ -1,0 +1,61 @@
+"""The paper's analyses: Algorithms 1–7 and the Section 5 queries.
+
+Drivers
+-------
+* :class:`ContextInsensitiveAnalysis` — Algorithms 1, 2 (precomputed CHA
+  call graph) and 3 (on-the-fly call graph discovery),
+* :class:`ContextSensitiveAnalysis` — Algorithms 4 + 5 (cloning-based
+  context-sensitive points-to),
+* :class:`ContextSensitiveTypeAnalysis` — Algorithm 6,
+* :class:`ThreadEscapeAnalysis` — Algorithm 7 with the escape queries,
+* :mod:`repro.analysis.queries` — leak debugging, the JCE audit, type
+  refinement, and mod-ref.
+
+The Datalog programs themselves live in ``repro/analysis/datalog/*.dl``,
+written as in the paper's listings.
+"""
+
+from .base import AnalysisError, AnalysisResult, load_datalog_source, make_solver
+from .context_insensitive import (
+    ContextInsensitiveAnalysis,
+    ContextInsensitiveResult,
+    assign_edges_from_call_graph,
+)
+from .context_sensitive import ContextSensitiveAnalysis, ContextSensitiveResult
+from .type_analysis import ContextSensitiveTypeAnalysis, TypeAnalysisResult
+from .escape import EscapeResult, ThreadEscapeAnalysis
+from .compare import PrecisionDiff, PrecisionStats, compare_precision, precision_stats
+from . import queries
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "ContextInsensitiveAnalysis",
+    "ContextInsensitiveResult",
+    "ContextSensitiveAnalysis",
+    "ContextSensitiveResult",
+    "ContextSensitiveTypeAnalysis",
+    "EscapeResult",
+    "PrecisionDiff",
+    "PrecisionStats",
+    "ThreadEscapeAnalysis",
+    "TypeAnalysisResult",
+    "assign_edges_from_call_graph",
+    "compare_precision",
+    "precision_stats",
+    "load_datalog_source",
+    "make_solver",
+    "queries",
+    "run_analysis",
+]
+
+
+def run_analysis(program, context_sensitive=False, **kwargs):
+    """One-call entry point used by :func:`repro.analyze`.
+
+    Runs Algorithm 3 (context-insensitive, on-the-fly call graph) or, when
+    ``context_sensitive`` is set, Algorithms 4 + 5 on top of it.
+    """
+    if context_sensitive:
+        return ContextSensitiveAnalysis(program=program, **kwargs).run()
+    return ContextInsensitiveAnalysis(program=program, **kwargs).run()

@@ -1,0 +1,109 @@
+"""Precision comparison between analysis results.
+
+Figure 6 measures precision through the type-refinement client.  This
+module adds the other standard yardsticks used in the points-to
+literature so analyses can be compared directly:
+
+* average and maximum points-to set size per variable,
+* share of singleton points-to sets (devirtualization/inlining headroom),
+* pairwise alias-set comparison between two analyses,
+* per-variable diff: which variables did a more precise analysis improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .base import AnalysisError
+
+__all__ = ["PrecisionStats", "precision_stats", "compare_precision", "PrecisionDiff"]
+
+
+def _points_to_map(result) -> Dict[int, Set[int]]:
+    out: Dict[int, Set[int]] = {}
+    for v, h in result._points_to_tuples():
+        out.setdefault(v, set()).add(h)
+    return out
+
+
+@dataclass(frozen=True)
+class PrecisionStats:
+    """Classic points-to precision metrics for one analysis result."""
+
+    variables_with_targets: int
+    total_pairs: int
+    average_set_size: float
+    max_set_size: int
+    singleton_ratio: float
+
+    def as_row(self) -> Tuple[float, float, float]:
+        return (self.average_set_size, self.max_set_size, self.singleton_ratio)
+
+
+def precision_stats(result) -> PrecisionStats:
+    """Compute the metrics over the (projected) points-to relation."""
+    pts = _points_to_map(result)
+    if not pts:
+        return PrecisionStats(0, 0, 0.0, 0, 1.0)
+    sizes = [len(hs) for hs in pts.values()]
+    singletons = sum(1 for s in sizes if s == 1)
+    return PrecisionStats(
+        variables_with_targets=len(pts),
+        total_pairs=sum(sizes),
+        average_set_size=sum(sizes) / len(sizes),
+        max_set_size=max(sizes),
+        singleton_ratio=singletons / len(pts),
+    )
+
+
+@dataclass
+class PrecisionDiff:
+    """Per-variable comparison of a precise result against a baseline."""
+
+    improved: List[str]     # strictly smaller points-to set
+    unchanged: int
+    regressed: List[str]    # would indicate an unsoundness — must be empty
+    baseline: PrecisionStats
+    precise: PrecisionStats
+
+    @property
+    def improvement_ratio(self) -> float:
+        total = len(self.improved) + self.unchanged
+        return len(self.improved) / total if total else 0.0
+
+
+def compare_precision(baseline, precise) -> PrecisionDiff:
+    """Compare two results over the same facts.
+
+    ``precise`` is expected to be at least as precise as ``baseline`` on
+    every variable (e.g. Algorithm 5 projected vs Algorithm 3); any
+    variable where it sees *more* is reported in ``regressed`` — the
+    caller should treat that as a soundness alarm.
+    """
+    if baseline.facts is not precise.facts:
+        raise AnalysisError("compare_precision requires results on the same facts")
+    names = baseline.facts.maps["V"]
+    base_pts = _points_to_map(baseline)
+    prec_pts = _points_to_map(precise)
+    improved: List[str] = []
+    regressed: List[str] = []
+    unchanged = 0
+    for v, base_set in base_pts.items():
+        prec_set = prec_pts.get(v, set())
+        if prec_set < base_set:
+            improved.append(names[v])
+        elif prec_set == base_set:
+            unchanged += 1
+        else:
+            regressed.append(names[v])
+    for v in prec_pts:
+        if v not in base_pts:
+            regressed.append(names[v])
+    return PrecisionDiff(
+        improved=sorted(improved),
+        unchanged=unchanged,
+        regressed=sorted(regressed),
+        baseline=precision_stats(baseline),
+        precise=precision_stats(precise),
+    )

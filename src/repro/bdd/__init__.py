@@ -1,0 +1,34 @@
+"""From-scratch BDD package: kernel, finite domains, variable ordering.
+
+This is the substrate that replaces JavaBDD/BuDDy in the reproduction of
+Whaley & Lam (PLDI 2004).  See :mod:`repro.bdd.manager` for the node-level
+API, :mod:`repro.bdd.domain` for finite domains (including the paper's
+contiguous-range and add-constant primitives), and
+:mod:`repro.bdd.ordering` for order specs and the empirical order search.
+"""
+
+from .manager import BDD, BDDError, FALSE, TRUE
+from .domain import Domain, bits_for, equality_relation, offset_relation
+from .ordering import assign_levels, candidate_orders, parse_order, search_order
+from .reorder import count_nodes_under_order, rebuild_with_levels, sift_order
+from .serialize import load_bdd, save_bdd
+
+__all__ = [
+    "BDD",
+    "BDDError",
+    "FALSE",
+    "TRUE",
+    "Domain",
+    "bits_for",
+    "equality_relation",
+    "offset_relation",
+    "assign_levels",
+    "candidate_orders",
+    "count_nodes_under_order",
+    "load_bdd",
+    "parse_order",
+    "rebuild_with_levels",
+    "save_bdd",
+    "search_order",
+    "sift_order",
+]

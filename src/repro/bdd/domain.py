@@ -1,0 +1,272 @@
+"""Finite domains over BDD variables (BuDDy ``fdd``-style).
+
+A :class:`Domain` maps a finite set ``{0, ..., size-1}`` onto a block of
+BDD variable levels.  Relations over tuples of domain values are boolean
+functions over the union of the attribute domains' levels (Section 2.4.2).
+
+Two constructions here are central to the paper:
+
+* :meth:`Domain.range_bdd` — the "new primitive that creates a BDD
+  representation of contiguous ranges of numbers in O(k) operations, where
+  k is the number of bits" (Section 4.1).  It is the conjunction of a BDD
+  for numbers below the upper bound and one for numbers above the lower
+  bound.
+* :func:`offset_relation` — the relation ``{(x, x + delta)}``, used to
+  compute callee contexts "simply by adding a constant to the contexts of
+  the callers" (Section 4.1).  It is built bottom-up from the least
+  significant bit with a two-state carry automaton, so its size is linear
+  in the number of bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .manager import BDD, BDDError, FALSE, TRUE
+
+__all__ = ["Domain", "bits_for", "equality_relation", "offset_relation"]
+
+
+def bits_for(size: int) -> int:
+    """Number of bits needed to represent values ``0..size-1``."""
+    if size <= 0:
+        raise BDDError(f"domain size must be positive, got {size}")
+    return max(1, (size - 1).bit_length())
+
+
+class Domain:
+    """A finite domain bound to a block of BDD levels.
+
+    Parameters
+    ----------
+    manager:
+        The owning BDD manager.
+    name:
+        Diagnostic name (e.g. ``"V0"`` for the first physical instance of
+        the logical variable domain ``V``).
+    size:
+        Number of elements; values are ``0..size-1``.
+    levels:
+        The BDD levels for this domain's bits, most-significant first.
+        Must contain exactly ``bits_for(size)`` entries.
+    """
+
+    def __init__(self, manager: BDD, name: str, size: int, levels: Sequence[int]) -> None:
+        expected = bits_for(size)
+        if len(levels) != expected:
+            raise BDDError(
+                f"domain {name}: size {size} needs {expected} bits, got {len(levels)}"
+            )
+        self.manager = manager
+        self.name = name
+        self.size = size
+        self.levels: Tuple[int, ...] = tuple(levels)  # MSB first
+        self.bits = expected
+        self._varset_id: Optional[int] = None
+        # The O(bits) bottom-up constructions (leq/geq/range) build nodes
+        # from the least significant bit upward with raw ``mk`` calls, which
+        # is only valid if a domain's own bits respect the global order:
+        # more significant bit <=> smaller level.  Interleaving *between*
+        # domains is unrestricted.
+        if list(self.levels) != sorted(self.levels):
+            raise BDDError(
+                f"domain {name}: levels must be strictly increasing MSB-first"
+            )
+
+    # ------------------------------------------------------------------
+
+    def varset(self) -> int:
+        """Interned varset id for quantifying this domain away."""
+        if self._varset_id is None:
+            self._varset_id = self.manager.varset(self.levels)
+        return self._varset_id
+
+    def eq_const(self, value: int) -> int:
+        """BDD cube for ``x == value``."""
+        if not 0 <= value < self.size:
+            raise BDDError(f"value {value} out of domain {self.name} (size {self.size})")
+        literals = []
+        for i, level in enumerate(self.levels):
+            bit = (value >> (self.bits - 1 - i)) & 1
+            literals.append((level, bool(bit)))
+        return self.manager.cube(literals)
+
+    def decode(self, bits: Sequence[int]) -> int:
+        """Integer value from a bit tuple ordered like ``self.levels``."""
+        value = 0
+        for b in bits:
+            value = (value << 1) | b
+        return value
+
+    # ------------------------------------------------------------------
+    # The paper's contiguous-range primitive (Section 4.1)
+    # ------------------------------------------------------------------
+
+    def leq_const(self, bound: int) -> int:
+        """BDD for ``x <= bound`` in O(bits) nodes."""
+        if bound < 0:
+            return FALSE
+        if bound >= self.size - 1 and bound >= (1 << self.bits) - 1:
+            return TRUE
+        m = self.manager
+        # Build from the least significant bit upward.
+        result = TRUE
+        for i in range(self.bits - 1, -1, -1):
+            level = self.levels[i]
+            bit = (bound >> (self.bits - 1 - i)) & 1
+            if bit:
+                # x_i == 0 -> anything below is fine; x_i == 1 -> recurse.
+                result = m.mk(level, TRUE, result)
+            else:
+                # x_i == 1 -> too big; x_i == 0 -> recurse.
+                result = m.mk(level, result, FALSE)
+        return result
+
+    def geq_const(self, bound: int) -> int:
+        """BDD for ``x >= bound`` in O(bits) nodes."""
+        if bound <= 0:
+            return TRUE
+        if bound >= (1 << self.bits):
+            return FALSE
+        m = self.manager
+        result = TRUE
+        for i in range(self.bits - 1, -1, -1):
+            level = self.levels[i]
+            bit = (bound >> (self.bits - 1 - i)) & 1
+            if bit:
+                result = m.mk(level, FALSE, result)
+            else:
+                result = m.mk(level, result, TRUE)
+        return result
+
+    def range_bdd(self, lo: int, hi: int) -> int:
+        """BDD for ``lo <= x <= hi`` (inclusive), O(bits) construction."""
+        if lo > hi:
+            return FALSE
+        return self.manager.and_(self.geq_const(lo), self.leq_const(hi))
+
+    def full_bdd(self) -> int:
+        """BDD for ``x < size`` — the valid-value constraint."""
+        return self.leq_const(self.size - 1)
+
+    # ------------------------------------------------------------------
+
+    def replace_map_to(self, other: "Domain") -> int:
+        """Interned rename map moving this domain's bits onto ``other``'s."""
+        if other.bits < self.bits:
+            raise BDDError(
+                f"cannot rename {self.name} ({self.bits} bits) onto "
+                f"{other.name} ({other.bits} bits)"
+            )
+        # Align least-significant bits; if the target is wider, the extra
+        # high bits are simply absent (value-preserving for in-range values).
+        mapping = {}
+        for i in range(self.bits):
+            src = self.levels[self.bits - 1 - i]
+            dst = other.levels[other.bits - 1 - i]
+            if src != dst:
+                mapping[src] = dst
+        return self.manager.replace_map(mapping)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Domain {self.name} size={self.size} bits={self.bits}>"
+
+
+def equality_relation(a: Domain, b: Domain) -> int:
+    """BDD for ``x_a == x_b`` over two domains of the same manager.
+
+    Used for built-in ``=``/``!=`` predicates and for copying tuples between
+    physical domains when a plain rename is not applicable.
+    """
+    if a.manager is not b.manager:
+        raise BDDError("equality_relation requires domains of the same manager")
+    m = a.manager
+    bits = min(a.bits, b.bits)
+    result = TRUE
+    # Conjoin per-bit biconditionals from least significant upward so that
+    # (with interleaved orders) the intermediate BDDs stay linear.
+    for i in range(bits):
+        la = a.levels[a.bits - 1 - i]
+        lb = b.levels[b.bits - 1 - i]
+        both0 = m.and_(m.nvar_bdd(la), m.nvar_bdd(lb))
+        both1 = m.and_(m.var_bdd(la), m.var_bdd(lb))
+        result = m.and_(result, m.or_(both0, both1))
+    # Any extra high bits of the wider domain must be zero for equality of
+    # values to be well-defined.
+    for dom, other_bits in ((a, b.bits), (b, a.bits)):
+        for i in range(other_bits, dom.bits):
+            result = m.and_(result, m.nvar_bdd(dom.levels[dom.bits - 1 - i]))
+    return result
+
+
+def offset_relation(src: Domain, dst: Domain, delta: int, lo: int, hi: int) -> int:
+    """BDD for ``{(x, y) | y = x + delta, lo <= x <= hi}``.
+
+    The construction follows the paper's Section 4.1: the relation is the
+    conjunction of (a) an adder-with-constant automaton built bottom-up from
+    the least significant bit with a carry in {0, 1}, giving a BDD linear in
+    the number of bits, and (b) the contiguous-range BDD for ``x``.
+
+    ``delta`` may be negative (used only in tests; the numbering scheme of
+    Algorithm 4 only ever adds non-negative offsets).
+    """
+    if src.manager is not dst.manager:
+        raise BDDError("offset_relation requires domains of the same manager")
+    if lo > hi:
+        return FALSE
+    m = src.manager
+    # Run the carry automaton over enough bit positions to cover both
+    # domains *and* the delta itself, plus one slot so a final carry out of
+    # the top real bit is observed (and rejected) rather than lost.
+    bits = max(src.bits, dst.bits, abs(delta).bit_length()) + 1
+    width = 1 << bits
+    if delta >= 0:
+        dval = delta
+        want_carry = 0
+    else:
+        dval = delta + width
+        if dval < 0:
+            return FALSE
+        want_carry = 1
+
+    def src_level(i: int) -> Optional[int]:
+        """Level of src bit i (i = 0 is LSB); None if beyond src width."""
+        if i < src.bits:
+            return src.levels[src.bits - 1 - i]
+        return None
+
+    def dst_level(i: int) -> Optional[int]:
+        if i < dst.bits:
+            return dst.levels[dst.bits - 1 - i]
+        return None
+
+    # g[c] = BDD over bits 0..i-1 such that the low i bits of y equal the
+    # low i bits of (x + dval) and the carry out of bit i-1 is c.
+    g = {0: TRUE, 1: FALSE}
+    for i in range(bits):
+        d_bit = (dval >> i) & 1
+        sl = src_level(i)
+        dl = dst_level(i)
+        new_g = {0: FALSE, 1: FALSE}
+        for x_bit in (0, 1):
+            if sl is None and x_bit == 1:
+                continue  # x bit beyond src width is implicitly 0
+            for c_in in (0, 1):
+                if g[c_in] == FALSE:
+                    continue
+                total = x_bit + d_bit + c_in
+                y_bit = total & 1
+                c_out = total >> 1
+                if dl is None and y_bit == 1:
+                    continue  # y bit beyond dst width must be 0
+                term = g[c_in]
+                if sl is not None:
+                    lit = m.var_bdd(sl) if x_bit else m.nvar_bdd(sl)
+                    term = m.and_(term, lit)
+                if dl is not None:
+                    lit = m.var_bdd(dl) if y_bit else m.nvar_bdd(dl)
+                    term = m.and_(term, lit)
+                new_g[c_out] = m.or_(new_g[c_out], term)
+        g = new_g
+    adder = g[want_carry]
+    return m.and_(adder, src.range_bdd(lo, hi))

@@ -1,0 +1,153 @@
+"""Variable-ordering specifications and empirical order search.
+
+bddbddb describes variable orders with strings such as::
+
+    C0xC1_VxV1_H0xH1_F_T_I_M_N_Z
+
+Underscore-separated *groups* are laid out sequentially (all bits of the
+first group before all bits of the second), and ``x``-joined domains within
+a group are *interleaved* bit-by-bit.  Interleaving related attributes
+(e.g. the caller and callee context domains ``C0``/``C1``) is what lets the
+BDD share structure across contexts — the paper's Section 2.4.2 example of
+why ordering matters.
+
+The paper also notes that finding the best order is NP-complete and that
+bddbddb "automatically explores different alternatives empirically to find
+an effective ordering"; :func:`search_order` is that tool in miniature.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from .manager import BDDError
+
+__all__ = ["parse_order", "assign_levels", "candidate_orders", "search_order"]
+
+
+def parse_order(spec: str) -> List[List[str]]:
+    """Parse an order spec into groups of interleaved domain names.
+
+    >>> parse_order("C0xC1_V0_H0xH1")
+    [['C0', 'C1'], ['V0'], ['H0', 'H1']]
+    """
+    groups: List[List[str]] = []
+    for chunk in spec.split("_"):
+        if not chunk:
+            raise BDDError(f"empty group in order spec {spec!r}")
+        groups.append(chunk.split("x"))
+    return groups
+
+
+def assign_levels(spec: str, domain_bits: Dict[str, int]) -> Dict[str, List[int]]:
+    """Assign BDD levels to every domain bit according to an order spec.
+
+    Parameters
+    ----------
+    spec:
+        Order string, e.g. ``"C0xC1_V0xV1_H0xH1"``.  Every domain in
+        ``domain_bits`` must appear exactly once.
+    domain_bits:
+        Map from domain name to its bit width.
+
+    Returns
+    -------
+    Map from domain name to its levels, most-significant bit first.  Within
+    every domain the levels are strictly increasing, as required by
+    :class:`repro.bdd.domain.Domain`.
+    """
+    groups = parse_order(spec)
+    mentioned = [name for group in groups for name in group]
+    if sorted(mentioned) != sorted(domain_bits):
+        missing = set(domain_bits) - set(mentioned)
+        extra = set(mentioned) - set(domain_bits)
+        raise BDDError(
+            f"order spec domains do not match: missing={sorted(missing)} "
+            f"extra={sorted(extra)}"
+        )
+    levels: Dict[str, List[int]] = {name: [] for name in domain_bits}
+    next_level = 0
+    for group in groups:
+        # Round-robin over the group's domains, MSB first, so that bit i of
+        # each domain sits adjacent to bit i of its partners.
+        queues = [(name, list(range(domain_bits[name]))) for name in group]
+        pending = [(name, iter(bits)) for name, bits in queues]
+        active = [(name, it) for name, it in pending]
+        while active:
+            still = []
+            for name, it in active:
+                try:
+                    next(it)
+                except StopIteration:
+                    continue
+                levels[name].append(next_level)
+                next_level += 1
+                still.append((name, it))
+            active = still
+    return levels
+
+
+def candidate_orders(
+    domain_names: Sequence[str],
+    interleave_pairs: Sequence[Tuple[str, str]] = (),
+    max_candidates: int = 12,
+) -> List[str]:
+    """Generate a small set of plausible order specs to try empirically.
+
+    ``interleave_pairs`` lists domains that are joined/renamed against each
+    other frequently (e.g. ``("V0", "V1")``); candidates always interleave
+    them.  The remaining variation is the relative order of the groups.
+    """
+    paired = {}
+    for a, b in interleave_pairs:
+        paired.setdefault(a, []).append(b)
+    grouped: List[str] = []
+    used = set()
+    for name in domain_names:
+        if name in used:
+            continue
+        members = [name] + [b for b in paired.get(name, []) if b not in used]
+        used.update(members)
+        grouped.append("x".join(members))
+    candidates = []
+    base = "_".join(grouped)
+    candidates.append(base)
+    candidates.append("_".join(reversed(grouped)))
+    for perm in itertools.permutations(grouped):
+        spec = "_".join(perm)
+        if spec not in candidates:
+            candidates.append(spec)
+        if len(candidates) >= max_candidates:
+            break
+    return candidates
+
+
+def search_order(
+    run: Callable[[str], float],
+    candidates: Iterable[str],
+    budget_seconds: float = 60.0,
+) -> Tuple[str, Dict[str, float]]:
+    """Empirically pick the fastest order.
+
+    ``run`` executes the workload under a given order spec and returns its
+    cost (seconds, BDD nodes — anything comparable).  Candidates are tried
+    until the time budget is exhausted; the best seen wins.  This is the
+    miniature counterpart of bddbddb's FindBestOrder.
+    """
+    results: Dict[str, float] = {}
+    best_spec = None
+    best_cost = float("inf")
+    deadline = time.monotonic() + budget_seconds
+    for spec in candidates:
+        cost = run(spec)
+        results[spec] = cost
+        if cost < best_cost:
+            best_cost = cost
+            best_spec = spec
+        if time.monotonic() > deadline:
+            break
+    if best_spec is None:
+        raise BDDError("search_order: no candidates evaluated")
+    return best_spec, results

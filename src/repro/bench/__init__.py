@@ -1,0 +1,44 @@
+"""Workloads and the figure-regeneration harness.
+
+* :mod:`repro.bench.generator` — parameterized synthetic applications,
+* :mod:`repro.bench.corpus` — the 21-entry scaled corpus (Figure 3 names),
+* :mod:`repro.bench.harness` — regenerates Figures 3-6, the Section 6.2
+  scaling observation, and the design ablations.
+
+CLI::
+
+    python -m repro.bench.harness all --small
+"""
+
+from .generator import WorkloadParams, generate_program
+from .corpus import CORPUS, CorpusEntry, corpus_entry, corpus_names, corpus_program
+from .harness import (
+    BenchmarkRun,
+    ablation_table,
+    fig3_table,
+    fig4_table,
+    fig5_table,
+    fig6_table,
+    run_benchmark,
+    run_corpus,
+    scaling_table,
+)
+
+__all__ = [
+    "CORPUS",
+    "BenchmarkRun",
+    "CorpusEntry",
+    "WorkloadParams",
+    "ablation_table",
+    "corpus_entry",
+    "corpus_names",
+    "corpus_program",
+    "fig3_table",
+    "fig4_table",
+    "fig5_table",
+    "fig6_table",
+    "generate_program",
+    "run_benchmark",
+    "run_corpus",
+    "scaling_table",
+]

@@ -1,0 +1,21 @@
+"""Call graphs, CHA, and the Algorithm 4 context numbering."""
+
+from .graph import CallGraph, Edge
+from .cha import cha_call_graph, call_graph_from_ie
+from .numbering import (
+    ContextNumbering,
+    EdgeRange,
+    number_call_graph,
+    number_call_graph_1cfa,
+)
+
+__all__ = [
+    "CallGraph",
+    "ContextNumbering",
+    "Edge",
+    "EdgeRange",
+    "call_graph_from_ie",
+    "cha_call_graph",
+    "number_call_graph",
+    "number_call_graph_1cfa",
+]

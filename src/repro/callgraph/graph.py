@@ -1,0 +1,142 @@
+"""Call multigraphs: edges are (invocation site, caller, callee) triples.
+
+Multiple invocation sites between the same pair of methods are distinct
+edges — each gets its own context range in Algorithm 4.  The strongly
+connected components (computed with an iterative Tarjan) and the
+topological order of the condensation drive the path numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["Edge", "CallGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One invocation edge: site ``site`` in ``caller`` invokes ``callee``."""
+
+    site: int
+    caller: int
+    callee: int
+
+
+class CallGraph:
+    """A call multigraph over integer method ids."""
+
+    def __init__(self, methods: Iterable[int] = ()) -> None:
+        self.methods: Set[int] = set(methods)
+        self.edges: List[Edge] = []
+        self._succ: Dict[int, List[Edge]] = {}
+        self._pred: Dict[int, List[Edge]] = {}
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int, int]], methods: Iterable[int] = ()
+    ) -> "CallGraph":
+        graph = cls(methods)
+        for site, caller, callee in edges:
+            graph.add_edge(site, caller, callee)
+        return graph
+
+    def add_method(self, m: int) -> None:
+        self.methods.add(m)
+
+    def add_edge(self, site: int, caller: int, callee: int) -> Edge:
+        edge = Edge(site, caller, callee)
+        self.edges.append(edge)
+        self.methods.add(caller)
+        self.methods.add(callee)
+        self._succ.setdefault(caller, []).append(edge)
+        self._pred.setdefault(callee, []).append(edge)
+        return edge
+
+    def successors(self, m: int) -> List[Edge]:
+        return self._succ.get(m, [])
+
+    def predecessors(self, m: int) -> List[Edge]:
+        return self._pred.get(m, [])
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def call_targets(self, site: int) -> Set[int]:
+        return {e.callee for e in self.edges if e.site == site}
+
+    def reachable_from(self, roots: Iterable[int]) -> Set[int]:
+        """Methods reachable from ``roots`` along call edges."""
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            m = stack.pop()
+            if m in seen:
+                continue
+            seen.add(m)
+            for edge in self.successors(m):
+                stack.append(edge.callee)
+        return seen
+
+    # ------------------------------------------------------------------
+    # SCCs and condensation
+    # ------------------------------------------------------------------
+
+    def sccs(self) -> List[List[int]]:
+        """Strongly connected components, in reverse topological order
+        (every component precedes the components that call into it)."""
+        index_of: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        components: List[List[int]] = []
+        counter = [0]
+
+        for root in sorted(self.methods):
+            if root in index_of:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edge_idx = work[-1]
+                succ = self._succ.get(node, [])
+                if edge_idx < len(succ):
+                    work[-1] = (node, edge_idx + 1)
+                    nxt = succ[edge_idx].callee
+                    if nxt not in index_of:
+                        index_of[nxt] = lowlink[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, 0))
+                    elif nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[nxt])
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def condensation(self) -> Tuple[Dict[int, int], List[List[int]]]:
+        """(method -> component index, components in topological order).
+
+        Topological means callers come before callees, which is the
+        traversal order Algorithm 4 requires.
+        """
+        components = self.sccs()
+        components.reverse()  # callers first
+        comp_of = {m: i for i, comp in enumerate(components) for m in comp}
+        return comp_of, components

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+::
+
+    python -m repro stats    program.mj
+    python -m repro analyze  program.mj --context-sensitive --var Main.main:x
+    python -m repro query    program.mj --kind escape
+    python -m repro query    program.mj --kind vuln
+    python -m repro query    program.mj --kind casts
+    python -m repro query    program.mj --kind devirt
+    python -m repro query    program.mj --kind refinement
+
+``program.mj`` is mini-Java source (see :mod:`repro.ir.frontend`); the
+modeled class library is linked in unless ``--no-library`` is given.
+The benchmark harness has its own CLI: ``python -m repro.bench.harness``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+    ThreadEscapeAnalysis,
+)
+from .analysis.queries import (
+    cast_safety,
+    devirtualization,
+    refinement_stats,
+    security_vulnerability_query,
+)
+from .callgraph import number_call_graph
+from .ir.facts import extract_facts
+from .ir.frontend import parse_program
+
+__all__ = ["main"]
+
+
+def _load(args) -> "tuple":
+    text = pathlib.Path(args.program).read_text()
+    program = parse_program(
+        text, main=args.main, include_library=not args.no_library
+    )
+    return program, extract_facts(program)
+
+
+def _cmd_stats(args) -> int:
+    program, facts = _load(args)
+    stats = program.stats()
+    ci = ContextInsensitiveAnalysis(facts=facts).run()
+    entry = facts.method_id(f"{args.main}.main")
+    numbering = number_call_graph(ci.discovered_call_graph, entries=[entry])
+    print(f"classes:     {stats['classes']}")
+    print(f"methods:     {stats['methods']}")
+    print(f"statements:  {stats['statements']}")
+    print(f"variables:   {len(facts.maps['V'])}")
+    print(f"alloc sites: {stats['allocs']}")
+    print(f"call paths:  {numbering.max_paths()}")
+    print(f"call edges:  {ci.discovered_call_graph.edge_count()}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    program, facts = _load(args)
+    if args.context_sensitive:
+        result = ContextSensitiveAnalysis(facts=facts).run()
+        print(
+            f"context-sensitive points-to: {result.max_paths()} call paths, "
+            f"{result.vPC.count()} (context, variable, heap) tuples, "
+            f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
+        )
+    else:
+        result = ContextInsensitiveAnalysis(facts=facts).run()
+        print(
+            f"context-insensitive points-to: "
+            f"{result.relation('vP').count()} (variable, heap) tuples, "
+            f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
+        )
+    for spec in args.var or ():
+        method, _, var = spec.rpartition(":")
+        if not method:
+            print(f"  bad --var {spec!r}: use Method.name:var", file=sys.stderr)
+            return 2
+        targets = result.points_to(method, var)
+        print(f"  {spec} ->")
+        for heap in sorted(targets):
+            print(f"      {heap}")
+        if not targets:
+            print("      (empty)")
+    if args.dump_dir:
+        from .datalog.io import save_solver_outputs
+
+        counts = save_solver_outputs(result.solver, args.dump_dir)
+        print(f"wrote {sum(counts.values())} tuples to {args.dump_dir}/")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    program, facts = _load(args)
+    if args.kind == "escape":
+        result = ThreadEscapeAnalysis(facts=facts).run()
+        summary = result.summary()
+        print(
+            f"captured {summary['captured']}, escaped {summary['escaped']}; "
+            f"syncs: {summary['sync_unneeded']} removable, "
+            f"{summary['sync_needed']} needed"
+        )
+        for h in sorted(result.escaped_heaps()):
+            print(f"  escaped: {facts.maps['H'][h]}")
+        return 0
+    if args.kind == "casts":
+        result = ContextInsensitiveAnalysis(
+            facts=facts, query_fragments=["query_casts"]
+        ).run()
+        report = cast_safety(result)
+        print(f"{len(report.safe)} safe casts, {len(report.failing)} may fail")
+        for var in report.failing:
+            print(f"  may fail: {var} (sees {', '.join(report.evidence[var])})")
+        return 0
+    if args.kind == "devirt":
+        result = ContextInsensitiveAnalysis(
+            facts=facts, query_fragments=["query_devirt"]
+        ).run()
+        report = devirtualization(result)
+        print(
+            f"{len(report.mono)} monomorphic sites, {len(report.poly)} "
+            f"polymorphic, {len(report.dead)} dead; "
+            f"{len(report.dead_methods)} dead methods"
+        )
+        for site in report.mono:
+            print(f"  devirtualizable: {site}")
+        return 0
+    if args.kind == "refinement":
+        ci = ContextInsensitiveAnalysis(
+            facts=facts, query_fragments=["query_refinement_ci"]
+        ).run()
+        cs = ContextSensitiveAnalysis(
+            facts=facts,
+            call_graph=ci.discovered_call_graph,
+            query_fragments=["query_refinement_cs_pointer"],
+        ).run()
+        for label, stats in (
+            ("context-insensitive", refinement_stats(ci, "ci")),
+            ("context-sensitive (projected)", refinement_stats(cs, "projected")),
+            ("context-sensitive (full)", refinement_stats(cs, "full")),
+        ):
+            print(
+                f"{label:<32} multi-typed {stats.multi:5.1f}%  "
+                f"refinable {stats.refinable:5.1f}%"
+            )
+        return 0
+    if args.kind == "vuln":
+        ci = ContextInsensitiveAnalysis(facts=facts).run()
+        cs = ContextSensitiveAnalysis(
+            facts=facts, call_graph=ci.discovered_call_graph
+        ).run()
+        report = security_vulnerability_query(
+            cs, list(ci.solver.relation("IE").tuples())
+        )
+        if report:
+            for context, site in report.vulnerable_sites:
+                print(f"VULNERABLE (context {context}): {site}")
+            return 1
+        print("clean: no String-derived key reaches PBEKeySpec.init")
+        return 0
+    print(f"unknown query kind {args.kind!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cloning-based context-sensitive pointer analysis (PLDI 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("program", help="mini-Java source file")
+        p.add_argument("--main", default="Main", help="entry class (default Main)")
+        p.add_argument(
+            "--no-library", action="store_true", help="do not link the class library"
+        )
+
+    p_stats = sub.add_parser("stats", help="program vitals and call-path count")
+    common(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_analyze = sub.add_parser("analyze", help="run the points-to analysis")
+    common(p_analyze)
+    p_analyze.add_argument(
+        "--context-sensitive", action="store_true",
+        help="run Algorithms 4+5 instead of Algorithm 3",
+    )
+    p_analyze.add_argument(
+        "--var", action="append", metavar="Method.name:var",
+        help="print the points-to set of a variable (repeatable)",
+    )
+    p_analyze.add_argument(
+        "--dump-dir", help="write output relations as .tuples files"
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_query = sub.add_parser("query", help="run a Section 5 style query")
+    common(p_query)
+    p_query.add_argument(
+        "--kind",
+        required=True,
+        choices=["escape", "casts", "devirt", "refinement", "vuln"],
+    )
+    p_query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

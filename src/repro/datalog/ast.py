@@ -1,0 +1,258 @@
+"""Abstract syntax for the Datalog dialect of Section 2.1.
+
+A program has three sections — domains, relations, rules — exactly like the
+listings in the paper (Algorithms 1–7).  Terms are variables, ``_``
+don't-cares, numeric constants, or quoted named constants resolved through a
+domain's name map.  Body predicates may be negated (``!``), and the built-in
+comparisons ``=`` and ``!=`` are supported (used by the paper's type
+refinement and escape queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DatalogError",
+    "DomainDecl",
+    "AttributeDecl",
+    "RelationDecl",
+    "Variable",
+    "DontCare",
+    "NumberConst",
+    "NamedConst",
+    "Term",
+    "Atom",
+    "Comparison",
+    "Rule",
+    "ProgramAST",
+]
+
+
+class DatalogError(Exception):
+    """Raised on syntax or semantic errors in a Datalog program."""
+
+
+@dataclass(frozen=True)
+class DomainDecl:
+    """``V 262144 variable.map`` — name, size, optional name-map file."""
+
+    name: str
+    size: int
+    map_file: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute of a relation: ``variable : V`` or ``dest : V1``.
+
+    ``instance`` selects the physical domain copy (``V0``, ``V1``, ...);
+    ``None`` means "assign by position among same-domain attributes".
+    """
+
+    name: str
+    domain: str
+    instance: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RelationDecl:
+    """``vP (variable : V, heap : H) output``."""
+
+    name: str
+    attributes: Tuple[AttributeDecl, ...]
+    is_input: bool = False
+    is_output: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def resolved_instances(self) -> Tuple[int, ...]:
+        """Physical instance index for each attribute, defaults filled in."""
+        counts: Dict[str, int] = {}
+        out = []
+        for attr in self.attributes:
+            if attr.instance is not None:
+                idx = attr.instance
+                counts[attr.domain] = max(counts.get(attr.domain, 0), idx + 1)
+            else:
+                idx = counts.get(attr.domain, 0)
+                counts[attr.domain] = idx + 1
+            out.append(idx)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+
+@dataclass(frozen=True)
+class DontCare:
+    pass
+
+
+@dataclass(frozen=True)
+class NumberConst:
+    value: int
+
+
+@dataclass(frozen=True)
+class NamedConst:
+    name: str
+
+
+Term = Union[Variable, DontCare, NumberConst, NamedConst]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate occurrence ``[!] name(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    def variables(self) -> List[str]:
+        return [t.name for t in self.terms if isinstance(t, Variable)]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Built-in ``left OP right`` with OP in {=, !=}."""
+
+    left: Term
+    op: str  # "=" or "!="
+    right: Term
+
+    def variables(self) -> List[str]:
+        out = []
+        for t in (self.left, self.right):
+            if isinstance(t, Variable):
+                out.append(t.name)
+        return out
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.`` — ``body`` may be empty (a fact rule)."""
+
+    head: Atom
+    body: Tuple[Union[Atom, Comparison], ...] = ()
+    line: int = 0
+
+    @property
+    def positive_atoms(self) -> List[Atom]:
+        return [a for a in self.body if isinstance(a, Atom) and not a.negated]
+
+    @property
+    def negative_atoms(self) -> List[Atom]:
+        return [a for a in self.body if isinstance(a, Atom) and a.negated]
+
+    @property
+    def comparisons(self) -> List[Comparison]:
+        return [c for c in self.body if isinstance(c, Comparison)]
+
+    def __str__(self) -> str:
+        def term_str(t: Term) -> str:
+            if isinstance(t, Variable):
+                return t.name
+            if isinstance(t, DontCare):
+                return "_"
+            if isinstance(t, NumberConst):
+                return str(t.value)
+            return f'"{t.name}"'
+
+        def atom_str(a) -> str:
+            if isinstance(a, Comparison):
+                return f"{term_str(a.left)} {a.op} {term_str(a.right)}"
+            body = ", ".join(term_str(t) for t in a.terms)
+            bang = "!" if a.negated else ""
+            return f"{bang}{a.relation}({body})"
+
+        head = atom_str(self.head)
+        if not self.body:
+            return f"{head}."
+        return f"{head} :- {', '.join(atom_str(a) for a in self.body)}."
+
+
+@dataclass
+class ProgramAST:
+    """A parsed Datalog program."""
+
+    domains: Dict[str, DomainDecl] = field(default_factory=dict)
+    relations: Dict[str, RelationDecl] = field(default_factory=dict)
+    rules: List[Rule] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Semantic checks: declared names, arities, and rule safety."""
+        for rel in self.relations.values():
+            for attr in rel.attributes:
+                if attr.domain not in self.domains:
+                    raise DatalogError(
+                        f"relation {rel.name}: unknown domain {attr.domain}"
+                    )
+        for rule in self.rules:
+            self._validate_rule(rule)
+
+    def _validate_rule(self, rule: Rule) -> None:
+        where = f"rule at line {rule.line} ({rule})"
+        for atom in [rule.head] + list(rule.body):
+            if isinstance(atom, Comparison):
+                continue
+            decl = self.relations.get(atom.relation)
+            if decl is None:
+                raise DatalogError(f"{where}: unknown relation {atom.relation}")
+            if len(atom.terms) != decl.arity:
+                raise DatalogError(
+                    f"{where}: {atom.relation} expects {decl.arity} terms, "
+                    f"got {len(atom.terms)}"
+                )
+        if any(isinstance(t, DontCare) for t in rule.head.terms):
+            raise DatalogError(f"{where}: don't-care not allowed in rule head")
+        # Infer each variable's logical domain and check consistency.
+        var_domains: Dict[str, str] = {}
+        for atom in [rule.head] + list(rule.body):
+            if isinstance(atom, Comparison):
+                continue
+            decl = self.relations[atom.relation]
+            for term, attr in zip(atom.terms, decl.attributes):
+                if not isinstance(term, Variable):
+                    continue
+                seen = var_domains.get(term.name)
+                if seen is None:
+                    var_domains[term.name] = attr.domain
+                elif seen != attr.domain:
+                    raise DatalogError(
+                        f"{where}: variable {term.name} used with domains "
+                        f"{seen} and {attr.domain}"
+                    )
+        for comp in rule.comparisons:
+            doms = {
+                var_domains[v]
+                for v in comp.variables()
+                if v in var_domains
+            }
+            if len(doms) > 1:
+                raise DatalogError(
+                    f"{where}: comparison mixes domains {sorted(doms)}"
+                )
+            for v in comp.variables():
+                if v not in var_domains:
+                    raise DatalogError(
+                        f"{where}: comparison variable {v} not bound by any atom"
+                    )
+
+    def variable_domains(self, rule: Rule) -> Dict[str, str]:
+        """Map each rule variable to its logical domain (post-validate)."""
+        var_domains: Dict[str, str] = {}
+        for atom in [rule.head] + list(rule.body):
+            if isinstance(atom, Comparison):
+                continue
+            decl = self.relations[atom.relation]
+            for term, attr in zip(atom.terms, decl.attributes):
+                if isinstance(term, Variable):
+                    var_domains.setdefault(term.name, attr.domain)
+        return var_domains

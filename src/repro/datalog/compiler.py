@@ -1,0 +1,483 @@
+"""Translation of Datalog rules into BDD relational-algebra plans.
+
+This is the core of the bddbddb reproduction (Section 2.4.1): each rule is
+compiled — once per semi-naive variant — into a short straight-line program
+of relational operations:
+
+* load a body atom's BDD (full relation or its delta),
+* filter constants, equate repeated variables, project don't-cares,
+* rename attributes so shared variables meet in the same physical domain
+  ("attributes naming": the compiler simulates the binding evolution and
+  inserts the cheapest renames),
+* join with ``rel_prod``, projecting join variables that are dead afterwards
+  in the same fused operation,
+* apply built-in comparisons and negated atoms,
+* project to the head's variables and rename into the head's schema.
+
+The compiler works against *physical domain references* ``(logical, index)``
+so plans can be constructed before BDD levels exist; the solver materializes
+them against its domain pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from .ast import (
+    Atom,
+    Comparison,
+    DatalogError,
+    DontCare,
+    NamedConst,
+    NumberConst,
+    ProgramAST,
+    Rule,
+    Term,
+    Variable,
+)
+
+__all__ = [
+    "PhysRef",
+    "AtomPrep",
+    "AtomStep",
+    "UniverseStep",
+    "ComparisonStep",
+    "NegAtomStep",
+    "FinalStep",
+    "RulePlan",
+    "compile_rule",
+    "instance_requirements",
+]
+
+# A physical domain reference: (logical domain name, instance index).
+PhysRef = Tuple[str, int]
+
+
+@dataclass
+class AtomPrep:
+    """Schema-level preprocessing shared by positive and negated atoms."""
+
+    relation: str
+    # Constant filters: (attribute phys, resolved-at-runtime constant term).
+    const_filters: List[Tuple[PhysRef, Term]] = field(default_factory=list)
+    # Equalities for repeated variables within the atom: (keep, drop).
+    dup_equalities: List[Tuple[PhysRef, PhysRef]] = field(default_factory=list)
+    # Physical domains to project away after filtering (constants,
+    # don't-cares, duplicate copies, dead-on-arrival variables).
+    project: List[PhysRef] = field(default_factory=list)
+    # Simultaneous rename applied after projection: src phys -> dst phys.
+    rename: Dict[PhysRef, PhysRef] = field(default_factory=dict)
+
+
+@dataclass
+class AtomStep:
+    """Join one positive atom into the current intermediate relation."""
+
+    prep: AtomPrep
+    use_delta: bool
+    is_first: bool
+    # Physical domains quantified away by the joining rel_prod (dead vars).
+    join_project: List[PhysRef] = field(default_factory=list)
+
+
+@dataclass
+class UniverseStep:
+    """Bind an otherwise-unconstrained variable to its whole domain."""
+
+    phys: PhysRef
+
+
+@dataclass
+class ComparisonStep:
+    """Apply ``left OP right`` over bound variables/constants."""
+
+    op: str  # "=" or "!="
+    left_phys: PhysRef
+    right_phys: Optional[PhysRef]
+    right_const: Optional[Term]
+    project_after: List[PhysRef] = field(default_factory=list)
+
+
+@dataclass
+class NegAtomStep:
+    """Subtract a (prepared, renamed) negated atom."""
+
+    prep: AtomPrep
+    project_after: List[PhysRef] = field(default_factory=list)
+
+
+@dataclass
+class FinalStep:
+    """Project to head variables and rename into the head schema."""
+
+    project: List[PhysRef] = field(default_factory=list)
+    rename: Dict[PhysRef, PhysRef] = field(default_factory=dict)
+    head_consts: List[Tuple[PhysRef, Term]] = field(default_factory=list)
+    head_equalities: List[Tuple[PhysRef, PhysRef]] = field(default_factory=list)
+
+
+@dataclass
+class RulePlan:
+    """A compiled (rule, semi-naive variant) pair."""
+
+    rule: Rule
+    head_relation: str
+    delta_index: Optional[int]  # positive-atom index evaluated as delta
+    steps: List[Union[AtomStep, UniverseStep, ComparisonStep, NegAtomStep]] = field(
+        default_factory=list
+    )
+    final: FinalStep = field(default_factory=FinalStep)
+
+    def phys_refs(self) -> Set[PhysRef]:
+        """All physical domains this plan touches (for pool sizing)."""
+        refs: Set[PhysRef] = set()
+
+        def scan_prep(prep: AtomPrep) -> None:
+            for phys, _ in prep.const_filters:
+                refs.add(phys)
+            for a, b in prep.dup_equalities:
+                refs.update((a, b))
+            refs.update(prep.project)
+            for s, d in prep.rename.items():
+                refs.update((s, d))
+
+        for step in self.steps:
+            if isinstance(step, AtomStep):
+                scan_prep(step.prep)
+                refs.update(step.join_project)
+            elif isinstance(step, UniverseStep):
+                refs.add(step.phys)
+            elif isinstance(step, ComparisonStep):
+                refs.add(step.left_phys)
+                if step.right_phys is not None:
+                    refs.add(step.right_phys)
+                refs.update(step.project_after)
+            elif isinstance(step, NegAtomStep):
+                scan_prep(step.prep)
+                refs.update(step.project_after)
+        refs.update(self.final.project)
+        for s, d in self.final.rename.items():
+            refs.update((s, d))
+        for phys, _ in self.final.head_consts:
+            refs.add(phys)
+        for a, b in self.final.head_equalities:
+            refs.update((a, b))
+        return refs
+
+
+class _Allocator:
+    """Hands out physical-domain instances, avoiding a live set."""
+
+    def __init__(self) -> None:
+        self.high_water: Dict[str, int] = {}
+
+    def fresh(self, logical: str, avoid: Set[PhysRef]) -> PhysRef:
+        i = 0
+        while (logical, i) in avoid:
+            i += 1
+        self.high_water[logical] = max(self.high_water.get(logical, 0), i + 1)
+        return (logical, i)
+
+    def note(self, phys: PhysRef) -> None:
+        logical, idx = phys
+        self.high_water[logical] = max(self.high_water.get(logical, 0), idx + 1)
+
+
+def _atom_schema(program: ProgramAST, atom: Atom) -> List[Tuple[Term, str, PhysRef]]:
+    """Per-position (term, logical domain, declared physical ref)."""
+    decl = program.relations[atom.relation]
+    instances = decl.resolved_instances()
+    out = []
+    for term, attr, inst in zip(atom.terms, decl.attributes, instances):
+        out.append((term, attr.domain, (attr.domain, inst)))
+    return out
+
+
+def _order_positive_atoms(
+    rule: Rule, delta_index: Optional[int]
+) -> List[Tuple[int, Atom]]:
+    """Join-order heuristic: start from the delta atom (its tuples are the
+    new work), then greedily pick atoms sharing the most variables with the
+    already-bound set, breaking ties toward lower arity."""
+    atoms = list(enumerate(rule.positive_atoms))
+    if not atoms:
+        return []
+    ordered: List[Tuple[int, Atom]] = []
+    remaining = dict(atoms)
+    if delta_index is not None:
+        ordered.append((delta_index, remaining.pop(delta_index)))
+    else:
+        first_idx = atoms[0][0]
+        ordered.append((first_idx, remaining.pop(first_idx)))
+    bound: Set[str] = set(ordered[0][1].variables())
+    while remaining:
+        best = None
+        best_key = None
+        for idx, atom in remaining.items():
+            shared = len(set(atom.variables()) & bound)
+            key = (-shared, len(atom.terms), idx)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = idx
+        atom = remaining.pop(best)
+        ordered.append((best, atom))
+        bound.update(atom.variables())
+    return ordered
+
+
+def _last_use_positions(
+    program: ProgramAST,
+    rule: Rule,
+    ordered_atoms: List[Tuple[int, Atom]],
+    tail_items: List[Union[Comparison, Atom]],
+) -> Dict[str, int]:
+    """Position (in the execution sequence) after which each variable dies.
+
+    Positions: 0..len(ordered_atoms)-1 for positive atoms, then
+    len(ordered_atoms)+i for tail items (comparisons, negations).  Head
+    variables never die (position = +inf sentinel).
+    """
+    last: Dict[str, int] = {}
+    for pos, (_, atom) in enumerate(ordered_atoms):
+        for v in atom.variables():
+            last[v] = pos
+    base = len(ordered_atoms)
+    for i, item in enumerate(tail_items):
+        vs = item.variables() if isinstance(item, (Atom, Comparison)) else []
+        for v in vs:
+            last[v] = base + i
+    for v in rule.head.variables():
+        last[v] = 1 << 30
+    return last
+
+
+def compile_rule(
+    program: ProgramAST,
+    rule: Rule,
+    delta_index: Optional[int],
+    allocator: Optional[_Allocator] = None,
+) -> RulePlan:
+    """Compile one rule variant into a :class:`RulePlan`.
+
+    ``delta_index`` selects which positive atom is read from the delta
+    relation (semi-naive evaluation); ``None`` reads all atoms in full.
+    """
+    allocator = allocator or _Allocator()
+    head_decl = program.relations[rule.head.relation]
+    plan = RulePlan(rule=rule, head_relation=rule.head.relation, delta_index=delta_index)
+
+    ordered = _order_positive_atoms(rule, delta_index)
+    # Tail: comparisons first (cheap filters), then negations.
+    tail: List[Union[Comparison, Atom]] = list(rule.comparisons) + list(
+        rule.negative_atoms
+    )
+    last_use = _last_use_positions(program, rule, ordered, tail)
+
+    binding: Dict[str, PhysRef] = {}
+    in_use: Set[PhysRef] = set()
+
+    def release(var: str) -> None:
+        phys = binding.pop(var)
+        in_use.discard(phys)
+
+    # ------------------------------------------------------------------
+    # Positive atoms
+    # ------------------------------------------------------------------
+    for pos, (atom_idx, atom) in enumerate(ordered):
+        schema = _atom_schema(program, atom)
+        prep = AtomPrep(relation=atom.relation)
+        for phys_ref in (p for _, _, p in schema):
+            allocator.note(phys_ref)
+        # Pass 1: constants, don't-cares, duplicates.
+        atom_vars: Dict[str, PhysRef] = {}
+        for term, logical, phys in schema:
+            if isinstance(term, (NumberConst, NamedConst)):
+                prep.const_filters.append((phys, term))
+                prep.project.append(phys)
+            elif isinstance(term, DontCare):
+                prep.project.append(phys)
+            elif isinstance(term, Variable):
+                if term.name in atom_vars:
+                    prep.dup_equalities.append((atom_vars[term.name], phys))
+                    prep.project.append(phys)
+                else:
+                    atom_vars[term.name] = phys
+        # Dead-on-arrival: variables that appear only inside this atom.
+        for var in list(atom_vars):
+            if last_use[var] <= pos and var not in binding:
+                prep.project.append(atom_vars.pop(var))
+        # Pass 2: renames.  Shared variables move onto the current binding's
+        # physical domain; others keep theirs unless it collides.
+        rename: Dict[PhysRef, PhysRef] = {}
+        targets_taken: Set[PhysRef] = set(in_use)
+        atom_physes: Set[PhysRef] = {p for _, _, p in schema}
+        new_vars: Dict[str, PhysRef] = {}
+        for var, phys in atom_vars.items():
+            if var in binding:
+                target = binding[var]
+            else:
+                logical = phys[0]
+                if phys not in targets_taken:
+                    target = phys
+                else:
+                    # Divert to a fresh instance; it must not collide with
+                    # the current relation, other targets, or any attribute
+                    # of this atom that stays in place.
+                    target = allocator.fresh(logical, targets_taken | atom_physes)
+                new_vars[var] = target
+            if target != phys:
+                rename[phys] = target
+            targets_taken.add(target)
+        # Safety net: a rename target must never collide with an attribute
+        # of the atom that stays in place (the allocator avoids this by
+        # construction; collisions inside the simultaneous rename itself
+        # are fine because replace applies the whole map at once).
+        stay = {p for v, p in atom_vars.items() if p not in rename}
+        for src, dst in rename.items():
+            if dst in stay:
+                raise DatalogError(
+                    f"rule {rule}: rename collision on {dst} in atom "
+                    f"{atom.relation} — add explicit physical instances"
+                )
+        prep.rename = rename
+        # Join, projecting variables that die at this step.
+        join_project: List[PhysRef] = []
+        for var in list(binding):
+            if last_use[var] <= pos:
+                join_project.append(binding[var])
+                release(var)
+        for var, target in new_vars.items():
+            binding[var] = target
+            in_use.add(target)
+        plan.steps.append(
+            AtomStep(
+                prep=prep,
+                use_delta=(delta_index is not None and atom_idx == delta_index),
+                is_first=(pos == 0),
+                join_project=join_project,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Unsafe variables: bind to the domain universe before tail items.
+    # ------------------------------------------------------------------
+    var_domains = program.variable_domains(rule)
+    needed: List[str] = []
+    for item in tail:
+        needed.extend(item.variables())
+    needed.extend(rule.head.variables())
+    for var in needed:
+        if var not in binding:
+            logical = var_domains.get(var)
+            if logical is None:
+                raise DatalogError(f"rule {rule}: cannot infer domain of {var}")
+            phys = allocator.fresh(logical, in_use)
+            binding[var] = phys
+            in_use.add(phys)
+            plan.steps.append(UniverseStep(phys=phys))
+
+    # ------------------------------------------------------------------
+    # Comparisons, then negated atoms.
+    # ------------------------------------------------------------------
+    base = len(ordered)
+    for i, item in enumerate(tail):
+        item_pos = base + i
+        if isinstance(item, Comparison):
+            left, right = item.left, item.right
+            if not isinstance(left, Variable):
+                left, right = right, left
+                # op is symmetric for = and !=
+            if not isinstance(left, Variable):
+                raise DatalogError(f"rule {rule}: comparison between two constants")
+            step = ComparisonStep(
+                op=item.op,
+                left_phys=binding[left.name],
+                right_phys=binding[right.name] if isinstance(right, Variable) else None,
+                right_const=None if isinstance(right, Variable) else right,
+            )
+            for var in item.variables():
+                if last_use[var] <= item_pos and var in binding:
+                    step.project_after.append(binding[var])
+                    release(var)
+            plan.steps.append(step)
+        else:  # negated atom
+            schema = _atom_schema(program, item)
+            prep = AtomPrep(relation=item.relation)
+            for phys_ref in (p for _, _, p in schema):
+                allocator.note(phys_ref)
+            atom_vars: Dict[str, PhysRef] = {}
+            for term, logical, phys in schema:
+                if isinstance(term, (NumberConst, NamedConst)):
+                    prep.const_filters.append((phys, term))
+                    prep.project.append(phys)
+                elif isinstance(term, DontCare):
+                    prep.project.append(phys)
+                else:
+                    if term.name in atom_vars:
+                        prep.dup_equalities.append((atom_vars[term.name], phys))
+                        prep.project.append(phys)
+                    else:
+                        atom_vars[term.name] = phys
+            rename = {}
+            for var, phys in atom_vars.items():
+                if var not in binding:
+                    raise DatalogError(
+                        f"rule {rule}: negated variable {var} is unbound"
+                    )
+                if binding[var] != phys:
+                    rename[phys] = binding[var]
+            prep.rename = rename
+            step = NegAtomStep(prep=prep)
+            for var in item.variables():
+                if last_use[var] <= item_pos and var in binding:
+                    step.project_after.append(binding[var])
+                    release(var)
+            plan.steps.append(step)
+
+    # ------------------------------------------------------------------
+    # Final projection and rename into the head schema.
+    # ------------------------------------------------------------------
+    head_schema = _atom_schema(program, rule.head)
+    final = FinalStep()
+    head_vars_first: Dict[str, PhysRef] = {}
+    for term, logical, phys in head_schema:
+        allocator.note(phys)
+        if isinstance(term, (NumberConst, NamedConst)):
+            final.head_consts.append((phys, term))
+        elif isinstance(term, Variable):
+            if term.name in head_vars_first:
+                final.head_equalities.append((head_vars_first[term.name], phys))
+            else:
+                head_vars_first[term.name] = phys
+    head_var_names = set(head_vars_first)
+    for var in list(binding):
+        if var not in head_var_names:
+            final.project.append(binding[var])
+            release(var)
+    for var, target in head_vars_first.items():
+        src = binding[var]
+        if src != target:
+            final.rename[src] = target
+    plan.final = final
+    return plan
+
+
+def instance_requirements(program: ProgramAST) -> Dict[str, int]:
+    """Number of physical instances needed per logical domain.
+
+    Compiles every rule (all semi-naive variants) against a shared
+    allocator and returns its high-water marks, also accounting for the
+    declared relation schemas.  The solver sizes its domain pool from this.
+    """
+    allocator = _Allocator()
+    for decl in program.relations.values():
+        for attr, inst in zip(decl.attributes, decl.resolved_instances()):
+            allocator.note((attr.domain, inst))
+    for rule in program.rules:
+        n_pos = len(rule.positive_atoms)
+        variants: List[Optional[int]] = [None]
+        variants.extend(range(n_pos))
+        for variant in variants:
+            compile_rule(program, rule, variant, allocator)
+    return dict(allocator.high_water)

@@ -1,0 +1,235 @@
+"""Provenance: explain why a tuple is in a solved relation.
+
+The paper recounts how painful debugging hand-written BDD analyses was
+("we found a subtle bug months after the implementation was completed").
+A deductive database can do better: since every derived tuple must be
+produced by some rule from facts that themselves hold, we can reconstruct
+a *derivation tree* after the fact.
+
+:func:`explain` finds, for a given tuple of a given relation, a rule whose
+body is satisfiable with the head bound to that tuple, picks one witness
+instantiation per body atom, and recurses (to a bounded depth).  Input
+tuples terminate the recursion.  The search runs against the *solved*
+relations, so every step is guaranteed to reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .ast import (
+    Atom,
+    Comparison,
+    DatalogError,
+    DontCare,
+    NamedConst,
+    NumberConst,
+    Rule,
+    Variable,
+)
+from .solver import Solver
+
+__all__ = ["Derivation", "explain", "format_derivation"]
+
+
+@dataclass
+class Derivation:
+    """One node of a derivation tree."""
+
+    relation: str
+    values: Tuple[int, ...]
+    rule: Optional[Rule] = None          # None => input fact
+    children: List["Derivation"] = field(default_factory=list)
+
+    @property
+    def is_fact(self) -> bool:
+        return self.rule is None
+
+
+def _bind_head(rule: Rule, values: Sequence[int], solver: Solver) -> Optional[Dict[str, int]]:
+    """Unify the head atom with concrete values; None on mismatch."""
+    decl = solver.program.relations[rule.head.relation]
+    binding: Dict[str, int] = {}
+    for term, attr, value in zip(rule.head.terms, decl.attributes, values):
+        if isinstance(term, Variable):
+            seen = binding.get(term.name)
+            if seen is not None and seen != value:
+                return None
+            binding[term.name] = value
+        elif isinstance(term, (NumberConst, NamedConst)):
+            if solver.resolve_const(attr.domain, term) != value:
+                return None
+    return binding
+
+
+_WITNESS_LIMIT = 64
+
+
+def _match_atom(
+    atom: Atom, binding: Dict[str, int], solver: Solver
+):
+    """Yield tuples of ``atom``'s relation consistent with ``binding``.
+
+    Each yield is ``(witness tuple, extended binding)``.  The relation is
+    first restricted by the bound attributes at the BDD level, so only the
+    consistent slice is enumerated (up to a witness limit).
+    """
+    rel = solver.relation(atom.relation)
+    constraints: Dict[str, int] = {}
+    for term, attr in zip(atom.terms, rel.attributes):
+        if isinstance(term, Variable) and term.name in binding:
+            constraints[attr.name] = binding[term.name]
+        elif isinstance(term, (NumberConst, NamedConst)):
+            constraints[attr.name] = solver.resolve_const(attr.logical, term)
+    node = rel.node
+    manager = rel.manager
+    for name, value in constraints.items():
+        node = manager.and_(node, rel.attribute(name).phys.eq_const(value))
+    if node == 0:
+        return
+    levels = rel.levels()
+    emitted = 0
+    for witness_bits in manager.iter_assignments(node, levels):
+        values: List[int] = []
+        pos = 0
+        in_domain = True
+        for attr in rel.attributes:
+            width = attr.phys.bits
+            value = attr.phys.decode(witness_bits[pos : pos + width])
+            pos += width
+            if value >= attr.phys.size:
+                in_domain = False
+                break
+            values.append(value)
+        if not in_domain:
+            continue
+        extended = dict(binding)
+        repeated_ok = True
+        for term, value in zip(atom.terms, values):
+            if isinstance(term, Variable):
+                seen = extended.get(term.name)
+                if seen is not None and seen != value:
+                    repeated_ok = False
+                    break
+                extended[term.name] = value
+        if not repeated_ok:
+            continue
+        yield tuple(values), extended
+        emitted += 1
+        if emitted >= _WITNESS_LIMIT:
+            return
+
+
+def _check_comparison(comp: Comparison, binding: Dict[str, int], solver: Solver) -> bool:
+    def value_of(term) -> Optional[int]:
+        if isinstance(term, Variable):
+            return binding.get(term.name)
+        return None if isinstance(term, DontCare) else term.value if isinstance(term, NumberConst) else None
+
+    left = value_of(comp.left)
+    right = value_of(comp.right)
+    if left is None or right is None:
+        return True  # unconstrained; witness search already satisfied it
+    return (left == right) if comp.op == "=" else (left != right)
+
+
+def explain(
+    solver: Solver,
+    relation_name: str,
+    values: Sequence[int],
+    max_depth: int = 8,
+) -> Derivation:
+    """Build a derivation tree for ``relation_name(values)``.
+
+    Raises :class:`DatalogError` if the tuple is not actually in the
+    relation.  Input relations (and depth-exhausted nodes) become leaf
+    facts.
+    """
+    values = tuple(values)
+    rel = solver.relation(relation_name)
+    if not rel.contains(values):
+        raise DatalogError(
+            f"{relation_name}{values} does not hold in the solved program"
+        )
+    decl = solver.program.relations[relation_name]
+    if decl.is_input or max_depth <= 0:
+        return Derivation(relation=relation_name, values=values)
+
+    head_key = (relation_name, values)
+    for rule in solver.program.rules:
+        if rule.head.relation != relation_name:
+            continue
+        binding = _bind_head(rule, values, solver)
+        if binding is None:
+            continue
+        positives = [
+            item for item in rule.body
+            if isinstance(item, Atom) and not item.negated
+        ]
+        others = [
+            item for item in rule.body
+            if not (isinstance(item, Atom) and not item.negated)
+        ]
+
+        def search(index: int, current: Dict[str, int], chosen):
+            """Backtracking over witness choices for the positive atoms."""
+            if index == len(positives):
+                for item in others:
+                    if isinstance(item, Comparison):
+                        if not _check_comparison(item, current, solver):
+                            return None
+                    else:  # negated atom
+                        fully_bound = all(
+                            (not isinstance(t, Variable)) or t.name in current
+                            for t in item.terms
+                        )
+                        if fully_bound and next(
+                            _match_atom(item, current, solver), None
+                        ) is not None:
+                            return None
+                return list(chosen)
+            atom = positives[index]
+            for wvalues, extended in _match_atom(atom, current, solver):
+                # Never let a tuple support itself directly.
+                if (atom.relation, wvalues) == head_key:
+                    continue
+                result = search(index + 1, extended, chosen + [(atom.relation, wvalues)])
+                if result is not None:
+                    return result
+            return None
+
+        chosen = search(0, binding, [])
+        if chosen is None:
+            continue
+        node = Derivation(relation=relation_name, values=values, rule=rule)
+        for child_rel, child_values in chosen:
+            node.children.append(
+                explain(solver, child_rel, child_values, max_depth - 1)
+            )
+        return node
+    # No rule reproduced it at this depth: report as a leaf.
+    return Derivation(relation=relation_name, values=values)
+
+
+def format_derivation(
+    derivation: Derivation, solver: Solver, indent: int = 0
+) -> str:
+    """Human-readable tree, with ordinals translated through name maps."""
+    rel = solver.relation(derivation.relation)
+    parts = []
+    for attr, value in zip(rel.attributes, derivation.values):
+        names = solver.name_maps.get(attr.logical)
+        if names is not None and value < len(names):
+            parts.append(str(names[value]))
+        else:
+            parts.append(str(value))
+    head = f"{'  ' * indent}{derivation.relation}({', '.join(parts)})"
+    if derivation.rule is not None:
+        head += f"   [by rule: {derivation.rule}]"
+    elif indent:
+        head += "   [fact]"
+    lines = [head]
+    for child in derivation.children:
+        lines.append(format_derivation(child, solver, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Saving and loading relations and domain maps.
+
+bddbddb exchanges data with its front end through ``.map`` files (one
+domain-element name per line) and ``.tuples`` files (one whitespace-
+separated ordinal tuple per line, preceded by a ``#`` header naming the
+attributes).  This module implements that interchange so analyses can be
+checkpointed, inputs can be prepared offline, and results can be diffed
+across runs.
+
+Example ``vP.tuples``::
+
+    # variable:V0 heap:H0
+    17 3
+    18 3
+    19 4
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .ast import DatalogError
+from .relation import Relation
+from .solver import Solver
+
+__all__ = [
+    "write_map",
+    "read_map",
+    "write_tuples",
+    "read_tuples",
+    "save_relation",
+    "load_relation",
+    "save_solver_outputs",
+    "load_solver_inputs",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_map(path: PathLike, names: Sequence[str]) -> None:
+    """Write a domain ``.map`` file: ordinal i's name on line i."""
+    text = "\n".join(names)
+    pathlib.Path(path).write_text(text + ("\n" if names else ""))
+
+
+def read_map(path: PathLike) -> List[str]:
+    """Read a domain ``.map`` file."""
+    text = pathlib.Path(path).read_text()
+    if not text:
+        return []
+    return text.rstrip("\n").split("\n")
+
+
+def write_tuples(
+    path: PathLike,
+    tuples: Iterable[Sequence[int]],
+    header: Optional[str] = None,
+) -> int:
+    """Write a ``.tuples`` file; returns the number of tuples written."""
+    lines = []
+    if header:
+        lines.append(f"# {header}")
+    count = 0
+    for values in tuples:
+        lines.append(" ".join(str(v) for v in values))
+        count += 1
+    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return count
+
+
+def read_tuples(path: PathLike) -> List[Tuple[int, ...]]:
+    """Read a ``.tuples`` file (header lines starting with ``#`` skipped)."""
+    out: List[Tuple[int, ...]] = []
+    for lineno, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            out.append(tuple(int(part) for part in line.split()))
+        except ValueError:
+            raise DatalogError(f"{path}:{lineno}: malformed tuple {line!r}")
+    return out
+
+
+def _relation_header(relation: Relation) -> str:
+    return " ".join(f"{a.name}:{a.phys.name}" for a in relation.attributes)
+
+
+def save_relation(relation: Relation, path: PathLike) -> int:
+    """Dump one relation to a ``.tuples`` file; returns the tuple count."""
+    return write_tuples(path, relation.tuples(), header=_relation_header(relation))
+
+
+def load_relation(relation: Relation, path: PathLike) -> int:
+    """Load a ``.tuples`` file into an existing relation (replacing its
+    contents); returns the tuple count."""
+    tuples = read_tuples(path)
+    for values in tuples:
+        if len(values) != relation.arity:
+            raise DatalogError(
+                f"{path}: tuple {values} has arity {len(values)}, relation "
+                f"{relation.name} expects {relation.arity}"
+            )
+    relation.set_tuples(tuples)
+    return len(tuples)
+
+
+def save_solver_outputs(solver: Solver, directory: PathLike) -> Dict[str, int]:
+    """Write every ``output`` relation (and the domain maps) of a solved
+    program under ``directory``; returns tuple counts per relation."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts: Dict[str, int] = {}
+    for decl in solver.program.relations.values():
+        if not decl.is_output:
+            continue
+        counts[decl.name] = save_relation(
+            solver.relation(decl.name), directory / f"{decl.name}.tuples"
+        )
+    for domain, names in solver.name_maps.items():
+        write_map(directory / f"{domain}.map", names)
+    return counts
+
+
+def load_solver_inputs(solver: Solver, directory: PathLike) -> Dict[str, int]:
+    """Load every ``input`` relation that has a ``.tuples`` file under
+    ``directory``; returns tuple counts per relation."""
+    directory = pathlib.Path(directory)
+    counts: Dict[str, int] = {}
+    for decl in solver.program.relations.values():
+        if not decl.is_input:
+            continue
+        path = directory / f"{decl.name}.tuples"
+        if path.exists():
+            counts[decl.name] = load_relation(solver.relation(decl.name), path)
+    return counts

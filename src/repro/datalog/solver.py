@@ -1,0 +1,521 @@
+"""Semi-naive BDD-based Datalog solver (the bddbddb engine, Section 2.4).
+
+The solver owns the BDD manager, the pool of physical finite domains, and
+one :class:`~repro.datalog.relation.Relation` per declared predicate.  It
+evaluates the program stratum by stratum; within a recursive stratum it
+runs *incrementalized* (semi-naive) fixpoint iteration: each rule is
+compiled into one plan per choice of "delta atom", and only tuples that are
+new since the previous iteration flow through the rule bodies.  Rules whose
+body does not mention the stratum's predicates are applied exactly once
+("rule application order" optimization), and body atoms whose relations are
+loop-invariant within the stratum have their prepared BDDs cached
+("loop-invariant relations" optimization).  A ``naive=True`` switch
+disables incrementalization for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..bdd import BDD, BDDError, Domain, FALSE, TRUE, bits_for
+from ..bdd.domain import equality_relation
+from ..bdd.ordering import assign_levels
+from .ast import DatalogError, NamedConst, NumberConst, ProgramAST, Term
+from .compiler import (
+    AtomPrep,
+    AtomStep,
+    ComparisonStep,
+    FinalStep,
+    NegAtomStep,
+    PhysRef,
+    RulePlan,
+    UniverseStep,
+    _Allocator,
+    compile_rule,
+)
+from .relation import Attribute, Relation
+from .stratify import Stratum, stratify
+
+__all__ = ["RuleProfile", "Solver", "SolveStats"]
+
+_MAX_ITERATIONS = 100_000
+
+
+@dataclass
+class RuleProfile:
+    """Per-rule evaluation profile (the data behind bddbddb's rule-order
+    optimization: expensive rules are candidates for reordering)."""
+
+    rule: str
+    applications: int = 0
+    seconds: float = 0.0
+    tuples_produced: int = 0  # number of applications yielding new tuples
+
+
+@dataclass
+class SolveStats:
+    """Counters the benchmark harness reports (Figure 4 columns)."""
+
+    seconds: float = 0.0
+    iterations: int = 0
+    rule_applications: int = 0
+    peak_nodes: int = 0
+    strata: int = 0
+
+    @property
+    def peak_bytes(self) -> int:
+        """Memory proxy: 16 bytes per BDD node (var + low + high + hash)."""
+        return self.peak_nodes * 16
+
+
+class Solver:
+    """Evaluate a parsed Datalog program over BDD relations."""
+
+    def __init__(
+        self,
+        program: ProgramAST,
+        order_spec: Optional[str] = None,
+        name_maps: Optional[Dict[str, Sequence[str]]] = None,
+        naive: bool = False,
+        gc_threshold: int = 4_000_000,
+        cache_limit: int = 2_000_000,
+    ) -> None:
+        self.program = program
+        self.naive = naive
+        self.gc_threshold = gc_threshold
+        self.cache_limit = cache_limit
+        self.name_maps: Dict[str, List[str]] = {
+            k: list(v) for k, v in (name_maps or {}).items()
+        }
+        self._reverse_maps: Dict[str, Dict[str, int]] = {
+            dom: {name: i for i, name in enumerate(names)}
+            for dom, names in self.name_maps.items()
+        }
+        # Compile every rule variant once; the allocator's high-water marks
+        # tell us how many physical instances each logical domain needs.
+        allocator = _Allocator()
+        for decl in program.relations.values():
+            for attr, inst in zip(decl.attributes, decl.resolved_instances()):
+                allocator.note((attr.domain, inst))
+        self._plans: Dict[Tuple[int, Optional[int]], RulePlan] = {}
+        for rule_idx, rule in enumerate(program.rules):
+            n_pos = len(rule.positive_atoms)
+            variants: List[Optional[int]] = [None]
+            variants.extend(range(n_pos))
+            for variant in variants:
+                self._plans[(rule_idx, variant)] = compile_rule(
+                    program, rule, variant, allocator
+                )
+        self._instances = dict(allocator.high_water)
+        # Build the physical domain pool under the requested variable order.
+        domain_bits: Dict[str, int] = {}
+        for logical, count in self._instances.items():
+            size = program.domains[logical].size
+            for i in range(count):
+                domain_bits[f"{logical}{i}"] = bits_for(size)
+        self.order_spec = (
+            self._expand_order_spec(order_spec)
+            if order_spec
+            else self.default_order_spec()
+        )
+        levels = assign_levels(self.order_spec, domain_bits)
+        total_bits = sum(domain_bits.values())
+        self.manager = BDD(num_vars=total_bits)
+        self._pool: Dict[PhysRef, Domain] = {}
+        for logical, count in self._instances.items():
+            size = program.domains[logical].size
+            for i in range(count):
+                name = f"{logical}{i}"
+                self._pool[(logical, i)] = Domain(
+                    self.manager, name, size, levels[name]
+                )
+        # One runtime relation per declaration.
+        self.relations: Dict[str, Relation] = {}
+        for decl in program.relations.values():
+            attrs = []
+            for attr, inst in zip(decl.attributes, decl.resolved_instances()):
+                attrs.append(
+                    Attribute(attr.name, attr.domain, self._pool[(attr.domain, inst)])
+                )
+            self.relations[decl.name] = Relation(self.manager, decl.name, attrs)
+        self._prep_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.stats = SolveStats()
+        self._profiles: Dict[int, RuleProfile] = {
+            i: RuleProfile(rule=str(rule))
+            for i, rule in enumerate(program.rules)
+        }
+        self._rule_of_plan: Dict[int, int] = {}
+        for (rule_idx, _variant), plan in self._plans.items():
+            self._rule_of_plan[id(plan)] = rule_idx
+        self._solved = False
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _expand_order_spec(self, spec: str) -> str:
+        """Expand logical domain names in an order spec to their physical
+        instances: ``"C_V0xV1"`` becomes ``"C0xC1_V0xV1"`` when C has two
+        instances.  Physical names pass through unchanged.  Domains the
+        spec does not mention are appended at the end (each logical
+        domain's instances interleaved), so partial specs stay valid when
+        a program grows new domains."""
+        groups_out = []
+        mentioned = set()
+        for group in spec.split("_"):
+            members = []
+            for member in group.split("x"):
+                if member in self.program.domains:
+                    count = self._instances.get(member, 0)
+                    expanded = [f"{member}{i}" for i in range(count)]
+                    members.extend(expanded)
+                    mentioned.update(expanded)
+                else:
+                    members.append(member)
+                    mentioned.add(member)
+            if members:
+                groups_out.append("x".join(members))
+        for logical in self.program.domains:
+            count = self._instances.get(logical, 0)
+            missing = [
+                f"{logical}{i}"
+                for i in range(count)
+                if f"{logical}{i}" not in mentioned
+            ]
+            if missing:
+                groups_out.append("x".join(missing))
+        return "_".join(groups_out)
+
+    def default_order_spec(self) -> str:
+        """Interleave all instances of each logical domain, groups in
+        declaration order — the shape bddbddb's order search converges to
+        for these programs (related attributes adjacent)."""
+        groups = []
+        for logical in self.program.domains:
+            count = self._instances.get(logical, 0)
+            if count == 0:
+                continue
+            groups.append("x".join(f"{logical}{i}" for i in range(count)))
+        return "_".join(groups)
+
+    def phys_domain(self, logical: str, instance: int = 0) -> Domain:
+        return self._pool[(logical, instance)]
+
+    def relation(self, name: str) -> Relation:
+        rel = self.relations.get(name)
+        if rel is None:
+            raise DatalogError(f"unknown relation {name}")
+        return rel
+
+    def add_tuples(self, name: str, tuples: Iterable[Sequence[int]]) -> None:
+        rel = self.relation(name)
+        node = rel.node
+        for values in tuples:
+            node = self.manager.or_(node, rel._tuple_node(values))
+        rel.set_node(node)
+
+    def set_node(self, name: str, node: int) -> None:
+        """Install a pre-built BDD (e.g. the IEC relation of Algorithm 4)."""
+        self.relation(name).set_node(node)
+
+    def named_tuples(self, name: str):
+        """Iterate tuples with ordinals translated through the name maps."""
+        rel = self.relation(name)
+        maps = [self.name_maps.get(a.logical) for a in rel.attributes]
+        for values in rel.tuples():
+            yield tuple(
+                m[v] if m is not None and v < len(m) else v
+                for m, v in zip(maps, values)
+            )
+
+    def resolve_const(self, logical: str, term: Term) -> int:
+        if isinstance(term, NumberConst):
+            value = term.value
+        elif isinstance(term, NamedConst):
+            table = self._reverse_maps.get(logical)
+            if table is None or term.name not in table:
+                raise DatalogError(
+                    f'named constant "{term.name}" not found in domain {logical}'
+                )
+            value = table[term.name]
+        else:
+            raise DatalogError(f"not a constant term: {term}")
+        size = self.program.domains[logical].size
+        if not 0 <= value < size:
+            raise DatalogError(
+                f"constant {value} out of range for domain {logical} (size {size})"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def solve(self) -> SolveStats:
+        """Run the program to fixpoint; returns evaluation statistics."""
+        start = time.monotonic()
+        strata = stratify(self.program)
+        self.stats.strata = len(strata)
+        rule_index = {id(rule): i for i, rule in enumerate(self.program.rules)}
+        for stratum in strata:
+            if not stratum.rules:
+                continue
+            recursive = set(map(id, stratum.recursive_rules))
+            once_rules = [r for r in stratum.rules if id(r) not in recursive]
+            # Rules with no recursive dependency run exactly once.
+            for rule in once_rules:
+                plan = self._plans[(rule_index[id(rule)], None)]
+                self._apply_plan(plan, None, stratum)
+            if not stratum.recursive_rules:
+                continue
+            if self.naive:
+                self._solve_stratum_naive(stratum, rule_index)
+            else:
+                self._solve_stratum_seminaive(stratum, rule_index)
+        self.stats.seconds = time.monotonic() - start
+        self.stats.peak_nodes = self.manager.peak_nodes
+        self._solved = True
+        return self.stats
+
+    def _solve_stratum_seminaive(
+        self, stratum: Stratum, rule_index: Dict[int, int]
+    ) -> None:
+        m = self.manager
+        deltas: Dict[str, int] = {}
+        for pred in stratum.predicates:
+            deltas[pred] = self.relations[pred].node
+        for iteration in range(_MAX_ITERATIONS):
+            self.stats.iterations += 1
+            contributions: Dict[str, int] = {p: FALSE for p in stratum.predicates}
+            for rule in stratum.recursive_rules:
+                ridx = rule_index[id(rule)]
+                for atom_pos, atom in enumerate(rule.positive_atoms):
+                    if atom.relation not in stratum.predicates:
+                        continue
+                    if deltas.get(atom.relation, FALSE) == FALSE:
+                        continue  # nothing new flows through this variant
+                    plan = self._plans[(ridx, atom_pos)]
+                    result = self._apply_plan(plan, deltas, stratum, defer=True)
+                    head = plan.head_relation
+                    contributions[head] = m.or_(contributions[head], result)
+            progressed = False
+            for pred in stratum.predicates:
+                rel = self.relations[pred]
+                delta = m.diff(contributions[pred], rel.node)
+                deltas[pred] = delta
+                if delta != FALSE:
+                    rel.set_node(m.or_(rel.node, delta))
+                    progressed = True
+            if not progressed:
+                return
+            if self.manager.node_count() >= self.gc_threshold:
+                preds = list(deltas)
+                roots = [deltas[p] for p in preds]
+                self._maybe_gc(extra_roots=roots)
+                deltas = dict(zip(preds, roots))
+            elif self.manager.cache_entries() > self.cache_limit:
+                # Operation caches dominate memory on long fixpoints; the
+                # lost memoization is recomputed cheaply against the
+                # (small) deltas of later iterations.
+                self.manager.clear_caches()
+        raise DatalogError(
+            f"stratum {sorted(stratum.predicates)} did not converge within "
+            f"{_MAX_ITERATIONS} iterations"
+        )
+
+    def _solve_stratum_naive(self, stratum: Stratum, rule_index: Dict[int, int]) -> None:
+        """Reference evaluation without incrementalization (ablation)."""
+        for iteration in range(_MAX_ITERATIONS):
+            self.stats.iterations += 1
+            progressed = False
+            for rule in stratum.recursive_rules:
+                plan = self._plans[(rule_index[id(rule)], None)]
+                delta = self._apply_plan(plan, None, stratum)
+                if delta != FALSE:
+                    progressed = True
+            if not progressed:
+                return
+        raise DatalogError(
+            f"stratum {sorted(stratum.predicates)} did not converge within "
+            f"{_MAX_ITERATIONS} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+
+    def _apply_plan(
+        self,
+        plan: RulePlan,
+        deltas: Optional[Dict[str, int]],
+        stratum: Stratum,
+        defer: bool = False,
+    ) -> int:
+        """Execute one compiled rule variant.
+
+        When ``defer`` is set, the resulting head tuples are returned
+        without being merged into the head relation (the semi-naive loop
+        batches contributions per iteration); otherwise the head relation is
+        updated and the delta returned.
+        """
+        self.stats.rule_applications += 1
+        profile = self._profiles[self._rule_of_plan[id(plan)]]
+        profile.applications += 1
+        apply_start = time.monotonic()
+        m = self.manager
+        current = TRUE
+        first = True
+        for step in plan.steps:
+            if isinstance(step, AtomStep):
+                node = self._prep_node(plan, step, deltas, stratum)
+                if first:
+                    current = node
+                    first = False
+                else:
+                    varset = m.varset(self._levels(step.join_project))
+                    current = m.rel_prod(current, node, varset)
+            elif isinstance(step, UniverseStep):
+                dom = self._pool[step.phys]
+                current = m.and_(current, dom.full_bdd())
+                first = False
+            elif isinstance(step, ComparisonStep):
+                left = self._pool[step.left_phys]
+                if step.right_phys is not None:
+                    probe = equality_relation(left, self._pool[step.right_phys])
+                else:
+                    value = self.resolve_const(step.left_phys[0], step.right_const)
+                    probe = left.eq_const(value)
+                if step.op == "=":
+                    current = m.and_(current, probe)
+                else:
+                    current = m.diff(current, probe)
+                if step.project_after:
+                    current = m.exist(
+                        current, m.varset(self._levels(step.project_after))
+                    )
+            elif isinstance(step, NegAtomStep):
+                node = self._prep_only(step.prep)
+                current = m.diff(current, node)
+                if step.project_after:
+                    current = m.exist(
+                        current, m.varset(self._levels(step.project_after))
+                    )
+            if current == FALSE:
+                break
+        # Final projection and rename into the head schema.
+        final = plan.final
+        if current != FALSE:
+            if final.project:
+                current = m.exist(current, m.varset(self._levels(final.project)))
+            if final.rename:
+                current = m.replace(current, self._rename_id(final.rename))
+            for phys, term in final.head_consts:
+                value = self.resolve_const(phys[0], term)
+                current = m.and_(current, self._pool[phys].eq_const(value))
+            for keep, dup in final.head_equalities:
+                current = m.and_(
+                    current, equality_relation(self._pool[keep], self._pool[dup])
+                )
+        profile.seconds += time.monotonic() - apply_start
+        if defer:
+            if current != FALSE:
+                profile.tuples_produced += 1
+            return current
+        delta = self.relations[plan.head_relation].union_node(current)
+        if delta != FALSE:
+            profile.tuples_produced += 1
+        return delta
+
+    def _prep_node(
+        self,
+        plan: RulePlan,
+        step: AtomStep,
+        deltas: Optional[Dict[str, int]],
+        stratum: Stratum,
+    ) -> int:
+        prep = step.prep
+        rel = self.relations[prep.relation]
+        if step.use_delta:
+            if deltas is None:
+                raise DatalogError("delta variant executed without deltas")
+            base = deltas.get(prep.relation, FALSE)
+            return self._prep_transform(prep, base)
+        # Loop-invariant caching: relations outside the current stratum
+        # cannot change while it iterates.
+        cacheable = prep.relation not in stratum.predicates
+        key = (id(plan), id(step))
+        if cacheable:
+            hit = self._prep_cache.get(key)
+            if hit is not None and hit[0] == rel.version:
+                return hit[1]
+        node = self._prep_transform(prep, rel.node)
+        if cacheable:
+            self._prep_cache[key] = (rel.version, node)
+        return node
+
+    def _prep_only(self, prep: AtomPrep) -> int:
+        return self._prep_transform(prep, self.relations[prep.relation].node)
+
+    def _prep_transform(self, prep: AtomPrep, node: int) -> int:
+        m = self.manager
+        for phys, term in prep.const_filters:
+            value = self.resolve_const(phys[0], term)
+            node = m.and_(node, self._pool[phys].eq_const(value))
+        for keep, dup in prep.dup_equalities:
+            node = m.and_(node, equality_relation(self._pool[keep], self._pool[dup]))
+        if prep.project:
+            node = m.exist(node, m.varset(self._levels(prep.project)))
+        if prep.rename:
+            node = m.replace(node, self._rename_id(prep.rename))
+        return node
+
+    def _levels(self, refs: Iterable[PhysRef]) -> List[int]:
+        out: List[int] = []
+        for ref in refs:
+            out.extend(self._pool[ref].levels)
+        return out
+
+    def _rename_id(self, mapping: Dict[PhysRef, PhysRef]) -> int:
+        level_map: Dict[int, int] = {}
+        for src, dst in mapping.items():
+            src_dom, dst_dom = self._pool[src], self._pool[dst]
+            if dst_dom.bits < src_dom.bits:
+                raise BDDError(
+                    f"rename {src} -> {dst} narrows {src_dom.bits} bits to "
+                    f"{dst_dom.bits}"
+                )
+            for i in range(src_dom.bits):
+                s = src_dom.levels[src_dom.bits - 1 - i]
+                d = dst_dom.levels[dst_dom.bits - 1 - i]
+                if s != d:
+                    level_map[s] = d
+        return self.manager.replace_map(level_map)
+
+    def rule_profile(self) -> List[RuleProfile]:
+        """Per-rule evaluation profile, most expensive first."""
+        return sorted(
+            self._profiles.values(), key=lambda p: p.seconds, reverse=True
+        )
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def _maybe_gc(self, extra_roots: Optional[List[int]] = None) -> None:
+        if self.manager.node_count() < self.gc_threshold:
+            return
+        roots = [rel.node for rel in self.relations.values()]
+        cached = list(self._prep_cache.items())
+        roots.extend(node for _, (_, node) in cached)
+        if extra_roots:
+            roots.extend(extra_roots)
+        mapping = self.manager.collect_garbage(roots)
+        for rel in self.relations.values():
+            rel.remap(mapping)
+        self._prep_cache = {
+            key: (version, mapping[node]) for key, (version, node) in cached
+        }
+        if extra_roots:
+            extra_roots[:] = [mapping[n] for n in extra_roots]

@@ -1,0 +1,140 @@
+"""Stratification of Datalog programs (Section 2.1).
+
+bddbddb "accepts a subclass of Datalog programs, known as stratified
+programs, for which minimal solutions always exist.  Informally, rules in
+such programs can be grouped into strata, each with a unique minimal
+solution, that can be solved in sequence."
+
+We build the predicate dependency graph (edge ``body -> head``, marked
+negative when the body literal is negated or the head depends on it through
+a comparison-complement), compute strongly connected components, reject
+negative edges inside a component, and emit the condensation in topological
+order.  Each stratum carries its rules, separated into the recursive ones
+(some body atom's predicate lies in the same stratum) and the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .ast import Atom, DatalogError, ProgramAST, Rule
+
+__all__ = ["Stratum", "stratify"]
+
+
+@dataclass
+class Stratum:
+    """One evaluation unit: a set of mutually recursive predicates."""
+
+    index: int
+    predicates: Set[str]
+    rules: List[Rule] = field(default_factory=list)
+    recursive_rules: List[Rule] = field(default_factory=list)
+
+    def is_recursive(self) -> bool:
+        return bool(self.recursive_rules)
+
+
+def _dependency_edges(program: ProgramAST) -> List[Tuple[str, str, bool]]:
+    """Edges (body_pred, head_pred, negative?) over all rules."""
+    edges = []
+    for rule in program.rules:
+        head = rule.head.relation
+        for item in rule.body:
+            if isinstance(item, Atom):
+                edges.append((item.relation, head, item.negated))
+    return edges
+
+
+def _tarjan_scc(nodes: Sequence[str], succ: Dict[str, List[str]]) -> List[List[str]]:
+    """Iterative Tarjan; components are returned in reverse topological
+    order (callees before callers), which we reverse for strata."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(succ.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(succ.get(nxt, ()))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def stratify(program: ProgramAST) -> List[Stratum]:
+    """Group the program's rules into strata in evaluation order.
+
+    Raises :class:`DatalogError` if a predicate depends negatively on
+    itself (directly or through a cycle) — the program is not stratified.
+    """
+    preds = set(program.relations)
+    edges = _dependency_edges(program)
+    succ: Dict[str, List[str]] = {}
+    for src, dst, _neg in edges:
+        succ.setdefault(src, []).append(dst)
+    components = _tarjan_scc(sorted(preds), succ)
+    comp_of: Dict[str, int] = {}
+    for i, comp in enumerate(components):
+        for p in comp:
+            comp_of[p] = i
+    for src, dst, neg in edges:
+        if neg and comp_of[src] == comp_of[dst]:
+            raise DatalogError(
+                f"program is not stratified: {dst} depends negatively on "
+                f"{src} within a recursive component"
+            )
+    # Tarjan emits components in reverse topological order of the
+    # condensation: with edges body -> head, a head's component finishes
+    # (and is emitted) before the components feeding it.  Evaluation must
+    # run dependencies first, so reverse the emission order.
+    components.reverse()
+    comp_of = {p: i for i, comp in enumerate(components) for p in comp}
+    strata: List[Stratum] = []
+    for i, comp in enumerate(components):
+        strata.append(Stratum(index=i, predicates=set(comp)))
+    for rule in program.rules:
+        stratum = strata[comp_of[rule.head.relation]]
+        stratum.rules.append(rule)
+        recursive = any(
+            isinstance(item, Atom) and comp_of[item.relation] == stratum.index
+            for item in rule.body
+        )
+        if recursive:
+            stratum.recursive_rules.append(rule)
+    return strata

@@ -1,0 +1,69 @@
+"""Mini-Java IR: the program substrate for the pointer analyses.
+
+* :mod:`repro.ir.program` — classes, methods, statements,
+* :mod:`repro.ir.types` — hierarchy queries (assignability, dispatch),
+* :mod:`repro.ir.builder` — programmatic construction,
+* :mod:`repro.ir.frontend` — the mini-Java source parser,
+* :mod:`repro.ir.library` — the modeled class library,
+* :mod:`repro.ir.facts` — extraction of the paper's input relations.
+"""
+
+from .program import (
+    Cast,
+    ClassDecl,
+    Copy,
+    FieldDecl,
+    If,
+    Invoke,
+    IRError,
+    Load,
+    MethodDecl,
+    New,
+    Program,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+    Sync,
+    While,
+    OBJECT,
+    THREAD,
+)
+from .types import TypeHierarchy
+from .builder import MethodBuilder, ProgramBuilder
+from .frontend import ParseError, parse_classes, parse_program
+from .facts import Facts, extract_facts, GLOBAL, NULL_NAME
+
+__all__ = [
+    "Cast",
+    "ClassDecl",
+    "Copy",
+    "Facts",
+    "FieldDecl",
+    "GLOBAL",
+    "If",
+    "Invoke",
+    "IRError",
+    "Load",
+    "MethodBuilder",
+    "MethodDecl",
+    "NULL_NAME",
+    "New",
+    "OBJECT",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Statement",
+    "StaticLoad",
+    "StaticStore",
+    "Store",
+    "Sync",
+    "THREAD",
+    "TypeHierarchy",
+    "While",
+    "extract_facts",
+    "parse_classes",
+    "parse_program",
+]

@@ -1,0 +1,226 @@
+"""Fluent programmatic construction of mini-Java programs.
+
+Used by tests and by the workload generator.  Example::
+
+    b = ProgramBuilder()
+    box = b.new_class("Box")
+    b.field(box, "item", "Object")
+
+    main = b.new_class("Main")
+    m = b.static_method(main, "main")
+    m.new("b", "Box")
+    m.new("o", "Object")
+    m.store("b", "item", "o")
+    m.load("x", "b", "item")
+
+    program = b.build(main="Main")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .program import (
+    Cast,
+    ClassDecl,
+    Copy,
+    FieldDecl,
+    If,
+    Invoke,
+    IRError,
+    Load,
+    MethodDecl,
+    New,
+    NullAssign,
+    Program,
+    Return,
+    Statement,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Sync,
+    Throw,
+    While,
+)
+
+__all__ = ["ProgramBuilder", "MethodBuilder"]
+
+
+class MethodBuilder:
+    """Appends statements to a method body."""
+
+    def __init__(self, decl: MethodDecl):
+        self.decl = decl
+        self._blocks: List[List[Statement]] = [decl.body]
+        self._kinds: List[str] = ["body"]
+
+    # -- declarations ---------------------------------------------------
+
+    def local(self, name: str, type_name: str) -> "MethodBuilder":
+        self.decl.locals[name] = type_name
+        return self
+
+    # -- statements -----------------------------------------------------
+
+    def _emit(self, stmt: Statement) -> "MethodBuilder":
+        self._blocks[-1].append(stmt)
+        return self
+
+    def new(self, dst: str, cls: str) -> "MethodBuilder":
+        return self._emit(New(dst, cls))
+
+    def copy(self, dst: str, src: str) -> "MethodBuilder":
+        return self._emit(Copy(dst, src))
+
+    def cast(self, dst: str, type_name: str, src: str) -> "MethodBuilder":
+        return self._emit(Cast(dst, type_name, src))
+
+    def load(self, dst: str, base: str, field: str) -> "MethodBuilder":
+        return self._emit(Load(dst, base, field))
+
+    def store(self, base: str, field: str, src: str) -> "MethodBuilder":
+        return self._emit(Store(base, field, src))
+
+    def static_load(self, dst: str, cls: str, field: str) -> "MethodBuilder":
+        return self._emit(StaticLoad(dst, cls, field))
+
+    def static_store(self, cls: str, field: str, src: str) -> "MethodBuilder":
+        return self._emit(StaticStore(cls, field, src))
+
+    def invoke(
+        self,
+        base: str,
+        name: str,
+        args: Sequence[str] = (),
+        dst: Optional[str] = None,
+    ) -> "MethodBuilder":
+        return self._emit(Invoke(name=name, args=tuple(args), dst=dst, base=base))
+
+    def invoke_static(
+        self,
+        cls: str,
+        name: str,
+        args: Sequence[str] = (),
+        dst: Optional[str] = None,
+    ) -> "MethodBuilder":
+        return self._emit(
+            Invoke(name=name, args=tuple(args), dst=dst, static_cls=cls)
+        )
+
+    def ret(self, var: str) -> "MethodBuilder":
+        return self._emit(Return(var))
+
+    def sync(self, var: str) -> "MethodBuilder":
+        return self._emit(Sync(var))
+
+    def throw(self, var: str) -> "MethodBuilder":
+        return self._emit(Throw(var))
+
+    def null(self, dst: str) -> "MethodBuilder":
+        return self._emit(NullAssign(dst))
+
+    # -- control flow (nondeterministic) ---------------------------------
+
+    def begin_if(self) -> "MethodBuilder":
+        self._blocks.append([])
+        self._kinds.append("then")
+        return self
+
+    def begin_else(self) -> "MethodBuilder":
+        if self._kinds[-1] != "then":
+            raise IRError("begin_else without matching begin_if")
+        self._blocks.append([])
+        self._kinds.append("else")
+        return self
+
+    def end_if(self) -> "MethodBuilder":
+        els: List[Statement] = []
+        if self._kinds[-1] == "else":
+            els = self._blocks.pop()
+            self._kinds.pop()
+        if self._kinds[-1] != "then":
+            raise IRError("end_if without matching begin_if")
+        then = self._blocks.pop()
+        self._kinds.pop()
+        self._blocks[-1].append(If(tuple(then), tuple(els)))
+        return self
+
+    def begin_while(self) -> "MethodBuilder":
+        self._blocks.append([])
+        self._kinds.append("while")
+        return self
+
+    def end_while(self) -> "MethodBuilder":
+        if self._kinds[-1] != "while":
+            raise IRError("end_while without matching begin_while")
+        body = self._blocks.pop()
+        self._kinds.pop()
+        self._blocks[-1].append(While(tuple(body)))
+        return self
+
+
+class ProgramBuilder:
+    """Incrementally assembles a :class:`~repro.ir.program.Program`."""
+
+    def __init__(self) -> None:
+        self.program = Program()
+
+    def new_class(
+        self,
+        name: str,
+        extends: str = "Object",
+        implements: Sequence[str] = (),
+    ) -> ClassDecl:
+        decl = ClassDecl(name, superclass=extends, interfaces=list(implements))
+        return self.program.add_class(decl)
+
+    def new_interface(self, name: str) -> ClassDecl:
+        decl = ClassDecl(name, superclass=None, is_interface=True)
+        return self.program.add_class(decl)
+
+    def field(
+        self, cls: ClassDecl, name: str, type_name: str, static: bool = False
+    ) -> FieldDecl:
+        return cls.add_field(FieldDecl(name, type_name, is_static=static))
+
+    def abstract_method(
+        self,
+        cls: ClassDecl,
+        name: str,
+        params: Sequence[Tuple[str, str]] = (),
+        returns: Optional[str] = None,
+    ) -> MethodDecl:
+        decl = MethodDecl(
+            name, params=list(params), return_type=returns, is_abstract=True
+        )
+        cls.add_method(decl)
+        return decl
+
+    def method(
+        self,
+        cls: ClassDecl,
+        name: str,
+        params: Sequence[Tuple[str, str]] = (),
+        returns: Optional[str] = None,
+    ) -> MethodBuilder:
+        decl = MethodDecl(name, params=list(params), return_type=returns)
+        cls.add_method(decl)
+        return MethodBuilder(decl)
+
+    def static_method(
+        self,
+        cls: ClassDecl,
+        name: str,
+        params: Sequence[Tuple[str, str]] = (),
+        returns: Optional[str] = None,
+    ) -> MethodBuilder:
+        decl = MethodDecl(
+            name, params=list(params), return_type=returns, is_static=True
+        )
+        cls.add_method(decl)
+        return MethodBuilder(decl)
+
+    def build(self, main: str, main_method: str = "main") -> Program:
+        self.program.set_main(main, main_method)
+        self.program.validate()
+        return self.program

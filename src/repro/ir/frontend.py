@@ -1,0 +1,397 @@
+"""A small front end: parse mini-Java source into IR programs.
+
+The concrete language covers exactly what the analysis observes —
+allocation, copies, casts, field access, virtual/static calls, returns,
+threads and synchronization — with nondeterministic control flow (the
+analysis is flow-insensitive, so conditions carry no information)::
+
+    interface Shape {
+        method area(unit : Object) returns Object;
+    }
+
+    class Circle extends Object implements Shape {
+        field r : Object;
+
+        method area(unit : Object) returns Object {
+            var t : Object;
+            t = this.r;
+            return t;
+        }
+    }
+
+    class Main {
+        static field cache : Object;
+
+        static method main() {
+            var s : Circle;
+            s = new Circle;
+            o = new Object;           // undeclared locals default to Object
+            s.r = o;
+            a = s.area(o);
+            Main.cache = a;
+            if (*) { b = s.r; } else { b = Main.cache; }
+            while (*) { s.area(b); }
+            t = new Worker;           // class Worker extends Thread
+            t.start();
+            sync a;
+        }
+    }
+
+Statics are accessed as ``ClassName.field`` and modeled through the global
+object; ``x = (T) y`` is a type-filtered assignment; ``t.start()`` on a
+``Thread`` subtype dispatches to its ``run`` method (footnote 3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .program import (
+    Cast,
+    ClassDecl,
+    Copy,
+    FieldDecl,
+    If,
+    Invoke,
+    IRError,
+    Load,
+    MethodDecl,
+    New,
+    NullAssign,
+    Program,
+    Return,
+    Statement,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Sync,
+    Throw,
+    While,
+)
+
+__all__ = ["parse_program", "parse_classes", "ParseError"]
+
+
+class ParseError(IRError):
+    """Raised on mini-Java syntax errors, with a line number."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[{}();,.:=*])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {
+    "class", "interface", "extends", "implements", "field", "method",
+    "static", "returns", "var", "new", "return", "sync", "if", "else",
+    "while", "this", "throw", "null",
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"line {line}: cannot tokenize near {text[pos:pos+20]!r}")
+        value = m.group()
+        kind = m.lastgroup
+        line += value.count("\n")
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, value, line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        # Pre-scan class/interface names so member access can distinguish
+        # static (``Cls.f``) from instance (``x.f``) references.
+        self.class_names: Set[str] = {"Object", "Thread"}
+        for i, (kind, value, _) in enumerate(self.tokens):
+            if value in ("class", "interface") and i + 1 < len(self.tokens):
+                self.class_names.add(self.tokens[i + 1][1])
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str, int]]:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        tok = self.next()
+        if tok[1] != value:
+            raise ParseError(f"line {tok[2]}: expected {value!r}, got {tok[1]!r}")
+        return tok
+
+    def expect_ident(self) -> str:
+        kind, value, line = self.next()
+        if kind != "ident" or value in _KEYWORDS - {"this"}:
+            raise ParseError(f"line {line}: expected identifier, got {value!r}")
+        return value
+
+    def at(self, value: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[1] == value
+
+    def accept(self, value: str) -> bool:
+        if self.at(value):
+            self.next()
+            return True
+        return False
+
+    # -- declarations -----------------------------------------------------
+
+    def parse(self) -> List[ClassDecl]:
+        decls = []
+        while self.peek() is not None:
+            tok = self.peek()
+            if tok[1] == "class":
+                decls.append(self._class())
+            elif tok[1] == "interface":
+                decls.append(self._interface())
+            else:
+                raise ParseError(
+                    f"line {tok[2]}: expected 'class' or 'interface', got {tok[1]!r}"
+                )
+        return decls
+
+    def _interface(self) -> ClassDecl:
+        self.expect("interface")
+        name = self.expect_ident()
+        decl = ClassDecl(name, superclass=None, is_interface=True)
+        self.expect("{")
+        while not self.accept("}"):
+            self.expect("method")
+            mname = self.expect_ident()
+            params = self._params()
+            returns = self.expect_ident() if self.accept("returns") else None
+            self.expect(";")
+            decl.add_method(
+                MethodDecl(mname, params=params, return_type=returns, is_abstract=True)
+            )
+        return decl
+
+    def _class(self) -> ClassDecl:
+        self.expect("class")
+        name = self.expect_ident()
+        superclass = "Object"
+        interfaces: List[str] = []
+        if self.accept("extends"):
+            superclass = self.expect_ident()
+        if self.accept("implements"):
+            interfaces.append(self.expect_ident())
+            while self.accept(","):
+                interfaces.append(self.expect_ident())
+        decl = ClassDecl(name, superclass=superclass, interfaces=interfaces)
+        self.expect("{")
+        while not self.accept("}"):
+            is_static = self.accept("static")
+            if self.accept("field"):
+                fname = self.expect_ident()
+                self.expect(":")
+                ftype = self.expect_ident()
+                self.expect(";")
+                decl.add_field(FieldDecl(fname, ftype, is_static=is_static))
+            elif self.accept("method"):
+                decl.add_method(self._method(is_static))
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"line {tok[2]}: expected 'field' or 'method', got {tok[1]!r}"
+                )
+        return decl
+
+    def _params(self) -> List[Tuple[str, str]]:
+        self.expect("(")
+        params: List[Tuple[str, str]] = []
+        if not self.at(")"):
+            while True:
+                pname = self.expect_ident()
+                self.expect(":")
+                ptype = self.expect_ident()
+                params.append((pname, ptype))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return params
+
+    def _method(self, is_static: bool) -> MethodDecl:
+        name = self.expect_ident()
+        params = self._params()
+        returns = self.expect_ident() if self.accept("returns") else None
+        decl = MethodDecl(
+            name, params=params, return_type=returns, is_static=is_static
+        )
+        decl.body.extend(self._block(decl))
+        return decl
+
+    # -- statements -------------------------------------------------------
+
+    def _block(self, method: MethodDecl) -> List[Statement]:
+        self.expect("{")
+        out: List[Statement] = []
+        while not self.accept("}"):
+            stmt = self._statement(method)
+            if stmt is not None:
+                out.append(stmt)
+        return out
+
+    def _statement(self, method: MethodDecl) -> Optional[Statement]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in method body")
+        if self.accept("var"):
+            name = self.expect_ident()
+            self.expect(":")
+            type_name = self.expect_ident()
+            self.expect(";")
+            method.locals[name] = type_name
+            return None
+        if self.accept("return"):
+            var = self._receiver()
+            self.expect(";")
+            return Return(var)
+        if self.accept("sync"):
+            var = self._receiver()
+            self.expect(";")
+            return Sync(var)
+        if self.accept("throw"):
+            var = self._receiver()
+            self.expect(";")
+            return Throw(var)
+        if self.accept("if"):
+            self.expect("(")
+            self.expect("*")
+            self.expect(")")
+            then = tuple(self._block(method))
+            els: Tuple[Statement, ...] = ()
+            if self.accept("else"):
+                els = tuple(self._block(method))
+            return If(then, els)
+        if self.accept("while"):
+            self.expect("(")
+            self.expect("*")
+            self.expect(")")
+            return While(tuple(self._block(method)))
+        return self._assignment_or_call(method)
+
+    def _receiver(self) -> str:
+        kind, value, line = self.next()
+        if value == "this":
+            return "this"
+        if kind != "ident" or value in _KEYWORDS - {"this"}:
+            raise ParseError(f"line {line}: expected variable, got {value!r}")
+        return value
+
+    def _args(self) -> Tuple[str, ...]:
+        self.expect("(")
+        args: List[str] = []
+        if not self.at(")"):
+            while True:
+                args.append(self._receiver())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return tuple(args)
+
+    def _assignment_or_call(self, method: MethodDecl) -> Statement:
+        first = self._receiver()
+        if self.accept("."):
+            member = self.expect_ident()
+            if self.at("("):
+                # Expression-statement call: base.m(args);
+                args = self._args()
+                self.expect(";")
+                if first in self.class_names:
+                    return Invoke(name=member, args=args, static_cls=first)
+                return Invoke(name=member, args=args, base=first)
+            # Store: base.f = src;
+            self.expect("=")
+            src = self._receiver()
+            self.expect(";")
+            if first in self.class_names:
+                return StaticStore(first, member, src)
+            return Store(first, member, src)
+        # Assignment: dst = rhs;
+        self.expect("=")
+        dst = first
+        if self.accept("null"):
+            self.expect(";")
+            return NullAssign(dst)
+        if self.accept("new"):
+            cls = self.expect_ident()
+            self.expect(";")
+            return New(dst, cls)
+        if self.accept("("):
+            type_name = self.expect_ident()
+            self.expect(")")
+            src = self._receiver()
+            self.expect(";")
+            return Cast(dst, type_name, src)
+        src = self._receiver()
+        if self.accept("."):
+            member = self.expect_ident()
+            if self.at("("):
+                args = self._args()
+                self.expect(";")
+                if src in self.class_names:
+                    return Invoke(name=member, args=args, dst=dst, static_cls=src)
+                return Invoke(name=member, args=args, dst=dst, base=src)
+            self.expect(";")
+            if src in self.class_names:
+                return StaticLoad(dst, src, member)
+            return Load(dst, src, member)
+        self.expect(";")
+        return Copy(dst, src)
+
+
+def parse_classes(text: str) -> List[ClassDecl]:
+    """Parse mini-Java source into class declarations (no program assembly)."""
+    return _Parser(text).parse()
+
+
+def parse_program(
+    text: str,
+    main: str = "Main",
+    main_method: str = "main",
+    library: Optional[str] = None,
+    include_library: bool = True,
+) -> Program:
+    """Parse source text into a validated :class:`Program`.
+
+    The built-in class library (:mod:`repro.ir.library`) is linked in by
+    default so programs can use ``String``, containers, and the JCE model.
+    """
+    program = Program()
+    if include_library:
+        from .library import LIBRARY_SOURCE
+
+        for decl in parse_classes(library if library is not None else LIBRARY_SOURCE):
+            program.add_class(decl)
+    elif library:
+        for decl in parse_classes(library):
+            program.add_class(decl)
+    for decl in parse_classes(text):
+        program.add_class(decl)
+    program.set_main(main, main_method)
+    program.validate()
+    return program

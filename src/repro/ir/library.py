@@ -1,0 +1,226 @@
+"""The modeled class library, written in mini-Java itself.
+
+The paper analyzes real Java programs together with the JDK class library
+("the reachable parts of the program and the class library") and models
+some native methods and special fields explicitly.  We model the small
+library slice the examples and workloads exercise:
+
+* ``String`` and friends — immutable strings whose methods return fresh
+  strings; the Section 5.2 security query flags key material derived from
+  any method of this class,
+* ``PBEKeySpec``/``Cipher`` — the JCE surface of Section 5.2,
+* containers (``ArrayList``, ``HashMap``, ``Iterator``) — shared library
+  code through which context-insensitive analyses conflate callers (the
+  classic motivation for context sensitivity),
+* ``StringBuilder`` — fluent ``return this`` flow,
+* ``Thread`` is built into :class:`repro.ir.program.Program`; its
+  subclasses' ``start()`` dispatches to ``run()``.
+"""
+
+LIBRARY_SOURCE = """
+class CharArray {
+}
+
+class String {
+    field chars : CharArray;
+
+    method toCharArray() returns CharArray {
+        var r : CharArray;
+        r = new CharArray;
+        this.chars = r;
+        return r;
+    }
+
+    method concat(other : String) returns String {
+        var r : String;
+        r = new String;
+        return r;
+    }
+
+    method substring() returns String {
+        var r : String;
+        r = new String;
+        return r;
+    }
+
+    method intern() returns String {
+        return this;
+    }
+
+    static method valueOf(o : Object) returns String {
+        var r : String;
+        r = new String;
+        return r;
+    }
+}
+
+class StringBuilder {
+    field buf : Object;
+
+    method append(o : Object) returns StringBuilder {
+        this.buf = o;
+        return this;
+    }
+
+    method build() returns String {
+        var r : String;
+        r = new String;
+        return r;
+    }
+}
+
+class ArrayList {
+    field elems : Object;
+
+    method add(e : Object) {
+        this.elems = e;
+    }
+
+    method get() returns Object {
+        var r : Object;
+        r = this.elems;
+        return r;
+    }
+
+    method iterator() returns Iterator {
+        var it : Iterator;
+        it = new Iterator;
+        it.owner = this;
+        return it;
+    }
+}
+
+class Iterator {
+    field owner : ArrayList;
+
+    method next() returns Object {
+        var o : ArrayList;
+        var r : Object;
+        o = this.owner;
+        r = o.elems;
+        return r;
+    }
+}
+
+class HashMap {
+    field keys : Object;
+    field vals : Object;
+
+    method put(k : Object, v : Object) {
+        this.keys = k;
+        this.vals = v;
+    }
+
+    method get(k : Object) returns Object {
+        var r : Object;
+        r = this.vals;
+        return r;
+    }
+}
+
+class LinkedList {
+    field head : ListNode;
+
+    method push(e : Object) {
+        var n : ListNode;
+        var h : ListNode;
+        n = new ListNode;
+        n.value = e;
+        h = this.head;
+        n.next = h;
+        this.head = n;
+    }
+
+    method pop() returns Object {
+        var n : ListNode;
+        var rest : ListNode;
+        var r : Object;
+        n = this.head;
+        rest = n.next;
+        this.head = rest;
+        r = n.value;
+        return r;
+    }
+
+    method peek() returns Object {
+        var n : ListNode;
+        var r : Object;
+        n = this.head;
+        r = n.value;
+        return r;
+    }
+}
+
+class ListNode {
+    field value : Object;
+    field next : ListNode;
+}
+
+class Stack {
+    field items : LinkedList;
+
+    method push(e : Object) {
+        var l : LinkedList;
+        l = this.items;
+        l.push(e);
+    }
+
+    method pop() returns Object {
+        var l : LinkedList;
+        var r : Object;
+        l = this.items;
+        r = l.pop();
+        return r;
+    }
+}
+
+class Exception {
+    field message : String;
+
+    method getMessage() returns String {
+        var r : String;
+        r = this.message;
+        return r;
+    }
+}
+
+class RuntimeException extends Exception {
+}
+
+class PBEKeySpec {
+    field password : Object;
+
+    method init(key : Object) {
+        this.password = key;
+    }
+
+    method clearPassword() {
+    }
+}
+
+class SecretKey {
+}
+
+class SecretKeyFactory {
+    method generateSecret(spec : PBEKeySpec) returns SecretKey {
+        var k : SecretKey;
+        k = new SecretKey;
+        return k;
+    }
+}
+
+class Cipher {
+    field spec : PBEKeySpec;
+    field key : SecretKey;
+
+    method setKeySpec(s : PBEKeySpec) {
+        this.spec = s;
+    }
+
+    method initKey(k : SecretKey) {
+        this.key = k;
+    }
+}
+"""
+
+__all__ = ["LIBRARY_SOURCE"]

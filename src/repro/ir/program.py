@@ -1,0 +1,437 @@
+"""Mini-Java program representation.
+
+This is the substrate standing in for Java bytecode + the Joeq front end:
+a class-based, single-inheritance object language with interfaces, fields,
+static members, virtual dispatch, threads, and synchronization — exactly
+the features the paper's input relations (``vP0, store, load, assign, vT,
+hT, aT, cha, actual, formal, IE0, mI, ...``) encode.
+
+Programs are built either programmatically (:mod:`repro.ir.builder`), by
+parsing mini-Java source (:mod:`repro.ir.frontend`), or by the workload
+generator (:mod:`repro.bench.generator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "IRError",
+    "New",
+    "Copy",
+    "Cast",
+    "Load",
+    "Store",
+    "StaticLoad",
+    "StaticStore",
+    "Invoke",
+    "Return",
+    "Sync",
+    "Throw",
+    "NullAssign",
+    "If",
+    "While",
+    "Statement",
+    "FieldDecl",
+    "MethodDecl",
+    "ClassDecl",
+    "Program",
+    "OBJECT",
+    "THREAD",
+    "CLINIT",
+]
+
+# Name of class-initializer methods; static methods with this name are
+# additional program entry points ("we included all class initializers,
+# thread run methods, and finalizers", Section 6.1).
+CLINIT = "clinit"
+
+# Built-in root class and thread base class names.
+OBJECT = "Object"
+THREAD = "Thread"
+
+
+class IRError(Exception):
+    """Raised on malformed programs."""
+
+
+# ----------------------------------------------------------------------
+# Statements.  All operands are local variable names within the method.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class New:
+    """``dst = new cls;`` — an allocation site (also an invocation site)."""
+
+    dst: str
+    cls: str
+
+
+@dataclass(frozen=True)
+class Copy:
+    """``dst = src;``"""
+
+    dst: str
+    src: str
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``dst = (type) src;`` — a filtered assignment."""
+
+    dst: str
+    type: str
+    src: str
+
+
+@dataclass(frozen=True)
+class Load:
+    """``dst = base.field;``"""
+
+    dst: str
+    base: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Store:
+    """``base.field = src;``"""
+
+    base: str
+    field: str
+    src: str
+
+
+@dataclass(frozen=True)
+class StaticLoad:
+    """``dst = Cls.field;`` — reads a static through the global object."""
+
+    dst: str
+    cls: str
+    field: str
+
+
+@dataclass(frozen=True)
+class StaticStore:
+    """``Cls.field = src;``"""
+
+    cls: str
+    field: str
+    src: str
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """``[dst =] base.name(args)`` or ``[dst =] Cls.name(args)``.
+
+    Virtual calls have ``base``; static calls have ``static_cls``.
+    """
+
+    name: str
+    args: Tuple[str, ...] = ()
+    dst: Optional[str] = None
+    base: Optional[str] = None
+    static_cls: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.base is None) == (self.static_cls is None):
+            raise IRError(
+                f"invoke {self.name}: exactly one of base/static_cls required"
+            )
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return var;``"""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Throw:
+    """``throw var;`` — the thrown value escapes to the callers.
+
+    The paper's V domain includes "thrown exceptions"; we model a
+    per-method exception channel that propagates along call edges like a
+    second return value.  Exception objects of the same type are merged by
+    the paper; here every throw site keeps its object (our programs are
+    small enough)."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class NullAssign:
+    """``var = null;`` — ignored by the analysis.
+
+    "We ignored null constants in the analysis — every points-to set is
+    automatically assumed to include null" (Section 6.1)."""
+
+    dst: str
+
+
+@dataclass(frozen=True)
+class Sync:
+    """``sync var;`` — a synchronization operation on ``var``."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class If:
+    """Nondeterministic branch; the pointer analysis is flow-insensitive
+    across branches, so no condition is represented."""
+
+    then: Tuple["Statement", ...]
+    els: Tuple["Statement", ...] = ()
+
+
+@dataclass(frozen=True)
+class While:
+    """Nondeterministic loop."""
+
+    body: Tuple["Statement", ...]
+
+
+Statement = Union[
+    New, Copy, Cast, Load, Store, StaticLoad, StaticStore, Invoke, Return, Sync,
+    Throw, NullAssign, If, While,
+]
+
+
+def flatten(statements: Sequence[Statement]) -> Iterator[Statement]:
+    """Yield all simple statements, descending into If/While blocks."""
+    for stmt in statements:
+        if isinstance(stmt, If):
+            yield from flatten(stmt.then)
+            yield from flatten(stmt.els)
+        elif isinstance(stmt, While):
+            yield from flatten(stmt.body)
+        else:
+            yield stmt
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    """A field declaration; statics live on the global object."""
+
+    name: str
+    type: str
+    owner: str = ""
+    is_static: bool = False
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+
+@dataclass
+class MethodDecl:
+    """A method: signature, body statements, and declared local types."""
+
+    name: str
+    owner: str = ""
+    params: List[Tuple[str, str]] = field(default_factory=list)  # (name, type)
+    return_type: Optional[str] = None
+    body: List[Statement] = field(default_factory=list)
+    is_static: bool = False
+    is_abstract: bool = False
+    locals: Dict[str, str] = field(default_factory=dict)  # declared local types
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    def statements(self) -> Iterator[Statement]:
+        return flatten(self.body)
+
+
+@dataclass
+class ClassDecl:
+    """A class or interface declaration."""
+
+    name: str
+    superclass: Optional[str] = OBJECT
+    interfaces: List[str] = field(default_factory=list)
+    fields: Dict[str, FieldDecl] = field(default_factory=dict)
+    methods: Dict[str, MethodDecl] = field(default_factory=dict)
+    is_interface: bool = False
+
+    def add_field(self, decl: FieldDecl) -> FieldDecl:
+        decl.owner = self.name
+        if decl.name in self.fields:
+            raise IRError(f"duplicate field {self.name}.{decl.name}")
+        self.fields[decl.name] = decl
+        return decl
+
+    def add_method(self, decl: MethodDecl) -> MethodDecl:
+        decl.owner = self.name
+        if decl.name in self.methods:
+            raise IRError(f"duplicate method {self.name}.{decl.name}")
+        self.methods[decl.name] = decl
+        return decl
+
+
+class Program:
+    """A closed mini-Java program: classes plus an entry point."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassDecl] = {}
+        self.main_class: Optional[str] = None
+        # The built-in roots always exist.
+        self.add_class(ClassDecl(OBJECT, superclass=None))
+        thread = ClassDecl(THREAD, superclass=OBJECT)
+        thread.add_method(MethodDecl("run", body=[]))
+        thread.add_method(MethodDecl("start", body=[]))
+        self.add_class(thread)
+
+    def add_class(self, decl: ClassDecl) -> ClassDecl:
+        """Register a class; duplicate names are rejected."""
+        if decl.name in self.classes:
+            raise IRError(f"duplicate class {decl.name}")
+        self.classes[decl.name] = decl
+        return decl
+
+    def cls(self, name: str) -> ClassDecl:
+        """Look up a class by name (raises IRError if unknown)."""
+        decl = self.classes.get(name)
+        if decl is None:
+            raise IRError(f"unknown class {name}")
+        return decl
+
+    def method(self, qualified: str) -> MethodDecl:
+        """Look up a method by qualified name, e.g. ``"Main.main"``."""
+        cls_name, _, meth_name = qualified.partition(".")
+        decl = self.cls(cls_name).methods.get(meth_name)
+        if decl is None:
+            raise IRError(f"unknown method {qualified}")
+        return decl
+
+    def set_main(self, cls_name: str, method_name: str = "main") -> None:
+        """Designate the program entry point (a static method)."""
+        decl = self.cls(cls_name).methods.get(method_name)
+        if decl is None:
+            raise IRError(f"no method {cls_name}.{method_name}")
+        if not decl.is_static:
+            raise IRError(f"entry point {cls_name}.{method_name} must be static")
+        self.main_class = cls_name
+        self.main_method = method_name
+
+    @property
+    def entry(self) -> MethodDecl:
+        """The main entry method."""
+        if self.main_class is None:
+            raise IRError("program has no entry point (call set_main)")
+        return self.cls(self.main_class).methods[self.main_method]
+
+    def entry_methods(self) -> List[MethodDecl]:
+        """All root methods: main plus every static class initializer.
+
+        (Thread ``run`` methods are reached through ``start`` dispatch
+        edges, so they need no special-casing here.)"""
+        out = [self.entry]
+        for cls in self.classes.values():
+            decl = cls.methods.get(CLINIT)
+            if decl is not None and decl.is_static and decl is not out[0]:
+                out.append(decl)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def all_methods(self) -> Iterator[MethodDecl]:
+        """Every method of every class, declaration order."""
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+    def concrete_classes(self) -> Iterator[ClassDecl]:
+        """Every non-interface class."""
+        for cls in self.classes.values():
+            if not cls.is_interface:
+                yield cls
+
+    def validate(self) -> None:
+        """Check referential integrity of the class hierarchy and bodies."""
+        for cls in self.classes.values():
+            if cls.superclass is not None and cls.superclass not in self.classes:
+                raise IRError(f"class {cls.name}: unknown superclass {cls.superclass}")
+            for iface in cls.interfaces:
+                idecl = self.classes.get(iface)
+                if idecl is None:
+                    raise IRError(f"class {cls.name}: unknown interface {iface}")
+                if not idecl.is_interface:
+                    raise IRError(f"class {cls.name}: {iface} is not an interface")
+            for fld in cls.fields.values():
+                if fld.type not in self.classes:
+                    raise IRError(
+                        f"field {fld.qualified}: unknown type {fld.type}"
+                    )
+            for method in cls.methods.values():
+                self._validate_method(method)
+        # Inheritance cycles.
+        for cls in self.classes.values():
+            seen = set()
+            cur: Optional[str] = cls.name
+            while cur is not None:
+                if cur in seen:
+                    raise IRError(f"inheritance cycle through {cur}")
+                seen.add(cur)
+                cur = self.classes[cur].superclass
+
+    def _validate_method(self, method: MethodDecl) -> None:
+        where = method.qualified
+        for name, typ in method.params:
+            if typ not in self.classes:
+                raise IRError(f"{where}: unknown parameter type {typ}")
+        if method.return_type is not None and method.return_type not in self.classes:
+            raise IRError(f"{where}: unknown return type {method.return_type}")
+        for typ in method.locals.values():
+            if typ not in self.classes:
+                raise IRError(f"{where}: unknown local type {typ}")
+        for stmt in method.statements():
+            if isinstance(stmt, New):
+                decl = self.classes.get(stmt.cls)
+                if decl is None:
+                    raise IRError(f"{where}: new of unknown class {stmt.cls}")
+                if decl.is_interface:
+                    raise IRError(f"{where}: cannot instantiate interface {stmt.cls}")
+            elif isinstance(stmt, Cast):
+                if stmt.type not in self.classes:
+                    raise IRError(f"{where}: cast to unknown type {stmt.type}")
+            elif isinstance(stmt, (StaticLoad, StaticStore)):
+                cls = self.classes.get(stmt.cls)
+                if cls is None:
+                    raise IRError(f"{where}: unknown class {stmt.cls}")
+            elif isinstance(stmt, Invoke) and stmt.static_cls is not None:
+                cls = self.classes.get(stmt.static_cls)
+                if cls is None:
+                    raise IRError(f"{where}: unknown class {stmt.static_cls}")
+                target = cls.methods.get(stmt.name)
+                if target is None or not target.is_static:
+                    raise IRError(
+                        f"{where}: no static method {stmt.static_cls}.{stmt.name}"
+                    )
+
+    def stats(self) -> Dict[str, int]:
+        """Vitals in the shape of Figure 3's columns."""
+        methods = 0
+        statements = 0
+        allocs = 0
+        for m in self.all_methods():
+            methods += 1
+            for stmt in m.statements():
+                statements += 1
+                if isinstance(stmt, New):
+                    allocs += 1
+        return {
+            "classes": len(self.classes),
+            "methods": methods,
+            "statements": statements,
+            "allocs": allocs,
+        }

@@ -1,0 +1,139 @@
+"""Class hierarchy queries: assignability and virtual dispatch.
+
+Provides the inputs the paper's type-aware rules consume:
+
+* ``aT(t1, t2)`` — type ``t2`` is assignable to ``t1`` ("assignability is
+  similar to the subtype relation, with allowances for interfaces", §2.3),
+* ``cha(t, n, m)`` — class-hierarchy dispatch: invoking method name ``n``
+  on an object of concrete type ``t`` runs method ``m`` (Dean et al.'s
+  class hierarchy analysis, used by Algorithm 3's rule (11)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .program import ClassDecl, IRError, MethodDecl, Program, OBJECT, THREAD
+
+__all__ = ["TypeHierarchy"]
+
+
+class TypeHierarchy:
+    """Precomputed subtype/assignability/dispatch tables for a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._supertypes: Dict[str, Set[str]] = {}
+        for name in program.classes:
+            self._supertypes[name] = self._compute_supertypes(name)
+
+    def _compute_supertypes(self, name: str) -> Set[str]:
+        out: Set[str] = set()
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            if cur in out:
+                continue
+            out.add(cur)
+            decl = self.program.classes[cur]
+            if decl.superclass is not None:
+                stack.append(decl.superclass)
+            stack.extend(decl.interfaces)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def supertypes(self, name: str) -> Set[str]:
+        """All types ``name`` is assignable to, including itself."""
+        st = self._supertypes.get(name)
+        if st is None:
+            raise IRError(f"unknown type {name}")
+        return st
+
+    def subtypes(self, name: str) -> Set[str]:
+        """All types assignable to ``name``, including itself."""
+        return {t for t, sups in self._supertypes.items() if name in sups}
+
+    def is_assignable(self, target: str, source: str) -> bool:
+        """True when a value of type ``source`` may be stored in a slot of
+        declared type ``target`` (the paper's ``aT(target, source)``)."""
+        return target in self.supertypes(source)
+
+    def assignable_pairs(self) -> Iterator[Tuple[str, str]]:
+        """All ``aT`` tuples: (supertype, subtype)."""
+        for sub, sups in self._supertypes.items():
+            for sup in sups:
+                yield (sup, sub)
+
+    def is_thread_type(self, name: str) -> bool:
+        return THREAD in self.supertypes(name)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def resolve(self, cls_name: str, method_name: str) -> Optional[MethodDecl]:
+        """Walk the superclass chain for the implementation of a method."""
+        cur: Optional[str] = cls_name
+        while cur is not None:
+            decl = self.program.classes[cur]
+            method = decl.methods.get(method_name)
+            if method is not None and not method.is_abstract:
+                return method
+            cur = decl.superclass
+        return None
+
+    def dispatch_tuples(self) -> Iterator[Tuple[str, str, MethodDecl]]:
+        """All ``cha(t, n, m)`` tuples over concrete receiver types.
+
+        For every concrete class ``t`` and every method name visible on it,
+        yields the implementation that a virtual call would run.  Calls to
+        ``start`` on thread subtypes dispatch to the type's ``run`` method —
+        the paper's footnote 3 ("we also match thread objects to their
+        corresponding run() methods").
+        """
+        for cls in self.program.concrete_classes():
+            names: Set[str] = set()
+            cur: Optional[str] = cls.name
+            while cur is not None:
+                decl = self.program.classes[cur]
+                names.update(
+                    n for n, m in decl.methods.items()
+                    if not m.is_static and not m.is_abstract
+                )
+                cur = decl.superclass
+            for iface in self._collected_interfaces(cls.name):
+                names.update(self.program.classes[iface].methods.keys())
+            for name in sorted(names):
+                target = self.resolve(cls.name, name)
+                if target is None:
+                    continue
+                if name == "start" and self.is_thread_type(cls.name):
+                    run = self.resolve(cls.name, "run")
+                    if run is not None:
+                        yield (cls.name, "start", run)
+                    continue
+                yield (cls.name, name, target)
+
+    def _collected_interfaces(self, name: str) -> Set[str]:
+        out: Set[str] = set()
+        cur: Optional[str] = name
+        while cur is not None:
+            decl = self.program.classes[cur]
+            for iface in decl.interfaces:
+                out |= self._supertypes[iface] & {
+                    t for t, d in self.program.classes.items() if d.is_interface
+                }
+            cur = decl.superclass
+        return out
+
+    # ------------------------------------------------------------------
+
+    def declared_type(self, method: MethodDecl, var: str) -> str:
+        """Declared type of a local/parameter; defaults to Object."""
+        if var == "this":
+            return method.owner
+        for pname, ptype in method.params:
+            if pname == var:
+                return ptype
+        return method.locals.get(var, OBJECT)

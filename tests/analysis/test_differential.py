@@ -1,0 +1,146 @@
+"""Differential testing: the BDD/Datalog pipeline vs an independent
+worklist implementation of the same analysis, on random programs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ContextInsensitiveAnalysis
+from repro.bench.generator import WorkloadParams, generate_program
+from repro.ir import extract_facts, parse_program
+
+from reference import reference_points_to
+
+
+def compare(facts, type_filtering=True):
+    result = ContextInsensitiveAnalysis(
+        facts=facts,
+        type_filtering=type_filtering,
+        discover_call_graph=True,
+    ).run()
+    got_vp = set(result.relation("vP").tuples())
+    got_hp = set(result.relation("hP").tuples())
+    got_ie = set(result.relation("IE").tuples())
+    want_vp, want_hp, want_ie = reference_points_to(
+        facts, type_filtering=type_filtering
+    )
+    assert got_vp == want_vp
+    assert got_hp == want_hp
+    assert got_ie == want_ie
+
+
+class TestDifferentialFixed:
+    def test_virtual_dispatch_program(self):
+        facts = extract_facts(
+            parse_program(
+                """
+class Animal {
+    method noise() returns Object { o = new Object; return o; }
+}
+class Dog extends Animal {
+    method noise() returns Object { o = new Object; return o; }
+}
+class Main {
+    static method main() {
+        var a : Animal;
+        if (*) { a = new Dog; } else { a = new Animal; }
+        n = a.noise();
+    }
+}
+""",
+                include_library=False,
+            )
+        )
+        compare(facts)
+
+    def test_container_program_with_library(self):
+        facts = extract_facts(
+            parse_program(
+                """
+class Main {
+    static method main() {
+        l = new ArrayList;
+        o = new Object;
+        l.add(o);
+        x = l.get();
+        s = new String;
+        c = s.toCharArray();
+    }
+}
+"""
+            )
+        )
+        compare(facts)
+
+    def test_exceptions_program(self):
+        facts = extract_facts(
+            parse_program(
+                """
+class Err { }
+class Lib {
+    static method may(o : Object) returns Object {
+        if (*) { e = new Err; throw e; }
+        return o;
+    }
+}
+class Main {
+    static method main() {
+        o = new Object;
+        r = Lib.may(o);
+    }
+}
+""",
+                include_library=False,
+            )
+        )
+        compare(facts)
+
+    def test_no_filter_variant(self):
+        facts = extract_facts(
+            parse_program(
+                """
+class A { }
+class B { }
+class Main {
+    static method main() {
+        var bonly : B;
+        x = new A;
+        y = new B;
+        if (*) { o = x; } else { o = y; }
+        bonly = (B) o;
+    }
+}
+""",
+                include_library=False,
+            )
+        )
+        compare(facts, type_filtering=False)
+        compare(facts, type_filtering=True)
+
+
+params_strategy = st.builds(
+    WorkloadParams,
+    seed=st.integers(0, 100_000),
+    layers=st.integers(2, 6),
+    width=st.integers(1, 3),
+    fanout=st.integers(1, 3),
+    hierarchy_groups=st.integers(1, 2),
+    subclasses=st.integers(1, 3),
+    recursion_cliques=st.integers(0, 2),
+    threads=st.integers(0, 2),
+    shared_chain=st.integers(0, 3),
+    use_library=st.booleans(),
+)
+
+
+@given(params_strategy)
+@settings(max_examples=10, deadline=None)
+def test_differential_on_random_programs(params):
+    facts = extract_facts(generate_program(params))
+    compare(facts)
+
+
+@given(params_strategy)
+@settings(max_examples=5, deadline=None)
+def test_differential_without_filter(params):
+    facts = extract_facts(generate_program(params))
+    compare(facts, type_filtering=False)

@@ -1,0 +1,177 @@
+"""Tests for the thread escape analysis (Algorithm 7) and its queries."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.analysis import ThreadEscapeAnalysis
+
+
+def run_escape(source):
+    return ThreadEscapeAnalysis(
+        program=parse_program(source, include_library=False)
+    ).run()
+
+
+SINGLE_THREADED = """
+class Main {
+    static method main() {
+        a = new Object;
+        b = new Object;
+        sync a;
+    }
+}
+"""
+
+
+class TestSingleThreaded:
+    def test_only_global_escapes(self):
+        result = run_escape(SINGLE_THREADED)
+        escaped = {result.facts.maps["H"][h] for h in result.escaped_heaps()}
+        assert escaped == {"<global>"}
+
+    def test_all_allocations_captured(self):
+        result = run_escape(SINGLE_THREADED)
+        captured = {result.facts.maps["H"][h] for h in result.captured_heaps()}
+        assert "Main.main@0:new Object" in captured
+        assert "Main.main@1:new Object" in captured
+
+    def test_all_syncs_unneeded(self):
+        result = run_escape(SINGLE_THREADED)
+        summary = result.summary()
+        assert summary["sync_needed"] == 0
+        assert summary["sync_unneeded"] == 1
+
+
+SHARED = """
+class Worker extends Thread {
+    method run() {
+        private = new Object;
+        shared = Main.channel;
+        sync shared;
+        sync private;
+    }
+}
+class Main {
+    static field channel : Object;
+    static method main() {
+        o = new Object;
+        Main.channel = o;
+        w = new Worker;
+        w.start();
+        sync o;
+    }
+}
+"""
+
+
+class TestCrossThreadSharing:
+    def test_published_and_read_object_escapes(self):
+        result = run_escape(SHARED)
+        escaped = {result.facts.maps["H"][h] for h in result.escaped_heaps()}
+        assert "Main.main@0:new Object" in escaped
+
+    def test_private_object_captured(self):
+        result = run_escape(SHARED)
+        captured = {result.facts.maps["H"][h] for h in result.captured_heaps()}
+        assert "Worker.run@0:new Object" in captured
+
+    def test_thread_object_escapes(self):
+        # The Worker object is created by main and accessed (as `this`) by
+        # the worker contexts.
+        result = run_escape(SHARED)
+        escaped = {result.facts.maps["H"][h] for h in result.escaped_heaps()}
+        assert "Main.main@2:new Worker" in escaped
+
+    def test_sync_on_shared_needed(self):
+        result = run_escape(SHARED)
+        needed_names = {
+            result.facts.maps["V"][v] for v in result.needed_sync_vars()
+        }
+        # Both main's o and run's shared alias the escaped object.
+        assert any("Main.main" in n for n in needed_names)
+        assert any("Worker.run" in n for n in needed_names)
+
+    def test_sync_on_private_unneeded(self):
+        result = run_escape(SHARED)
+        unneeded = {
+            result.facts.maps["V"][v] for v in result.unneeded_sync_vars()
+        }
+        assert any("private" in n for n in unneeded)
+
+    def test_is_captured_helper(self):
+        result = run_escape(SHARED)
+        assert result.is_captured("Worker.run@0:new Object")
+        assert not result.is_captured("Main.main@0:new Object")
+
+
+TWO_INSTANCES = """
+class Worker extends Thread {
+    field sink : Object;
+    method run() {
+        mine = new Object;
+        this.sink = mine;
+    }
+}
+class Main {
+    static method main() {
+        w1 = new Worker;
+        w2 = new Worker;
+        w1.start();
+        w2.start();
+    }
+}
+"""
+
+
+class TestThreadCloning:
+    def test_two_contexts_per_creation_site(self):
+        result = run_escape(TWO_INSTANCES)
+        # Two creation sites, two contexts each, plus global and main.
+        assert len(result.thread_contexts) == 2
+        for pair in result.thread_contexts.values():
+            assert len(pair) == 2
+
+    def test_per_instance_object_captured(self):
+        # `mine` is stored only into the creating instance's own field:
+        # instances do not exchange it, so it stays captured even though
+        # two clones of run() exist.
+        result = run_escape(TWO_INSTANCES)
+        captured = {result.facts.maps["H"][h] for h in result.captured_heaps()}
+        assert "Worker.run@0:new Object" in captured
+
+    def test_summary_shape(self):
+        result = run_escape(TWO_INSTANCES)
+        summary = result.summary()
+        assert set(summary) == {"captured", "escaped", "sync_unneeded", "sync_needed"}
+        assert summary["captured"] >= 1
+        assert summary["escaped"] >= 1
+
+
+LEAKY = """
+class Worker extends Thread {
+    method run() {
+        leaked = new Object;
+        Main.mailbox = leaked;
+    }
+}
+class Main {
+    static field mailbox : Object;
+    static method main() {
+        w = new Worker;
+        w.start();
+        got = Main.mailbox;
+        sync got;
+    }
+}
+"""
+
+
+class TestReverseDirectionSharing:
+    def test_worker_to_main_escape(self):
+        result = run_escape(LEAKY)
+        escaped = {result.facts.maps["H"][h] for h in result.escaped_heaps()}
+        assert "Worker.run@0:new Object" in escaped
+
+    def test_sync_needed_in_main(self):
+        result = run_escape(LEAKY)
+        assert result.summary()["sync_needed"] >= 1

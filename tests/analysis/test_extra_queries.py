@@ -1,0 +1,220 @@
+"""Tests for the cast-safety and devirtualization queries, and the 1-CFA
+baseline numbering."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+)
+from repro.analysis.queries import cast_safety, devirtualization
+from repro.callgraph import CallGraph, number_call_graph, number_call_graph_1cfa
+from repro.ir import extract_facts, parse_program
+
+
+CASTS = """
+class Animal { }
+class Dog extends Animal { }
+class Cat extends Animal { }
+class Main {
+    static method main() {
+        var a : Animal;
+        var b : Animal;
+        a = new Dog;
+        safeDog = (Dog) a;
+        if (*) { b = new Dog; } else { b = new Cat; }
+        maybeDog = (Dog) b;
+    }
+}
+"""
+
+
+class TestCastSafety:
+    @pytest.fixture(scope="class")
+    def report(self):
+        prog = parse_program(CASTS, include_library=False)
+        result = ContextInsensitiveAnalysis(
+            program=prog, query_fragments=["query_casts"]
+        ).run()
+        return cast_safety(result)
+
+    def test_provably_safe_cast(self, report):
+        assert any("safeDog" in v for v in report.safe)
+
+    def test_possibly_failing_cast(self, report):
+        assert any("maybeDog" in v for v in report.failing)
+
+    def test_evidence_names_offending_object(self, report):
+        failing = next(v for v in report.failing if "maybeDog" in v)
+        assert any("new Cat" in h for h in report.evidence[failing])
+
+    def test_safe_ratio(self, report):
+        assert 0.0 < report.safe_ratio < 1.0
+
+    def test_requires_fragment(self):
+        prog = parse_program(CASTS, include_library=False)
+        result = ContextInsensitiveAnalysis(program=prog).run()
+        with pytest.raises(AnalysisError):
+            cast_safety(result)
+
+
+VIRTUAL = """
+class Animal {
+    method noise() returns Object {
+        o = new Object;
+        return o;
+    }
+}
+class Dog extends Animal {
+    method noise() returns Object {
+        o = new Object;
+        return o;
+    }
+}
+class Cat extends Animal {
+    method noise() returns Object {
+        o = new Object;
+        return o;
+    }
+}
+class Unused {
+    method orphan() returns Object {
+        o = new Object;
+        return o;
+    }
+}
+class Main {
+    static method main() {
+        var one : Animal;
+        var many : Animal;
+        one = new Dog;
+        n1 = one.noise();
+        if (*) { many = new Dog; } else { many = new Cat; }
+        n2 = many.noise();
+    }
+}
+"""
+
+
+class TestDevirtualization:
+    @pytest.fixture(scope="class")
+    def report(self):
+        prog = parse_program(VIRTUAL, include_library=False)
+        result = ContextInsensitiveAnalysis(
+            program=prog, query_fragments=["query_devirt"]
+        ).run()
+        return devirtualization(result)
+
+    def test_single_target_site_is_mono(self, report):
+        # one.noise() resolves only to Dog.noise.
+        assert any("@1:call noise" in s for s in report.mono)
+
+    def test_multi_target_site_is_poly(self, report):
+        assert any(s for s in report.poly)
+
+    def test_dead_method_detected(self, report):
+        assert "Unused.orphan" in report.dead_methods
+
+    def test_live_methods_not_dead(self, report):
+        assert "Dog.noise" not in report.dead_methods
+        assert "Main.main" not in report.dead_methods
+
+    def test_devirt_ratio(self, report):
+        assert 0.0 < report.devirt_ratio < 1.0
+
+
+SHARED = """
+class Box {
+    field item : Object;
+}
+class Helper {
+    static method put(b : Box, o : Object) {
+        b.item = o;
+    }
+    static method get(b : Box) returns Object {
+        r = b.item;
+        return r;
+    }
+    static method putWrapperA(b : Box, o : Object) {
+        Helper.put(b, o);
+    }
+    static method putWrapperB(b : Box, o : Object) {
+        Helper.put(b, o);
+    }
+}
+class Main {
+    static method main() {
+        b1 = new Box;
+        b2 = new Box;
+        o1 = new Object;
+        o2 = new Object;
+        Helper.putWrapperA(b1, o1);
+        Helper.putWrapperB(b2, o2);
+        x1 = Helper.get(b1);
+        x2 = Helper.get(b2);
+    }
+}
+"""
+
+
+class Test1CFA:
+    def test_1cfa_context_counts_are_indegrees(self):
+        graph = CallGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 1, 2)
+        graph.add_edge(2, 2, 3)
+        numbering = number_call_graph_1cfa(graph, entries=[1])
+        assert numbering.num_contexts(1) == 1
+        assert numbering.num_contexts(2) == 2  # two incoming edges
+        assert numbering.num_contexts(3) == 1
+
+    def test_1cfa_collapses_caller_contexts(self):
+        graph = CallGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 1, 2)
+        graph.add_edge(2, 2, 3)
+        numbering = number_call_graph_1cfa(graph, entries=[1])
+        into3 = [r for r in numbering.ranges if r.callee == 3]
+        assert len(into3) == 1
+        assert into3[0].collapse_to == 1
+        assert (into3[0].lo, into3[0].hi) == (1, 2)
+
+    def test_1cfa_bounded_by_paths_numbering(self):
+        graph = CallGraph()
+        site = 0
+        for layer in range(6):
+            a, b, c, d = layer * 3 + 1, layer * 3 + 2, layer * 3 + 3, layer * 3 + 4
+            for src, dst in [(a, b), (a, c), (b, d), (c, d)]:
+                graph.add_edge(site, src, dst)
+                site += 1
+        full = number_call_graph(graph, entries=[1])
+        cfa = number_call_graph_1cfa(graph, entries=[1])
+        assert cfa.max_paths() <= full.max_paths()
+        assert cfa.max_paths() == 2  # indegree, not path count
+
+    def test_1cfa_analysis_runs_and_is_sound(self):
+        prog = parse_program(SHARED, include_library=False)
+        facts = extract_facts(prog)
+        full = ContextSensitiveAnalysis(facts=facts).run()
+        cfa = ContextSensitiveAnalysis(facts=facts, context_policy="1cfa").run()
+        full_vp = set(full.vPC.project("variable", "heap").tuples())
+        cfa_vp = set(cfa.vPC.project("variable", "heap").tuples())
+        # 1-CFA is sound (superset of the fully cloned result) ...
+        assert full_vp <= cfa_vp
+
+    def test_1cfa_less_precise_than_full_cloning(self):
+        """With wrappers between main and put, the last call site no
+        longer distinguishes the two data flows: 1-CFA conflates what the
+        full path numbering separates."""
+        prog = parse_program(SHARED, include_library=False)
+        facts = extract_facts(prog)
+        full = ContextSensitiveAnalysis(facts=facts).run()
+        assert full.points_to("Main.main", "x1") == {"Main.main@2:new Object"}
+        cfa = ContextSensitiveAnalysis(facts=facts, context_policy="1cfa").run()
+        assert len(cfa.points_to("Main.main", "x1")) == 1
+
+    def test_bad_policy_rejected(self):
+        prog = parse_program(SHARED, include_library=False)
+        with pytest.raises(AnalysisError):
+            ContextSensitiveAnalysis(program=prog, context_policy="2cfa")

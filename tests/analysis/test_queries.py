@@ -1,0 +1,273 @@
+"""Tests for the Section 5 queries: leak, security audit, type
+refinement, mod-ref, and the context-sensitive type analysis."""
+
+import pytest
+
+from repro.ir import extract_facts, parse_program
+from repro.analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+    ContextSensitiveTypeAnalysis,
+)
+from repro.analysis.queries import (
+    memory_leak_query,
+    mod_ref,
+    refinement_stats,
+    security_vulnerability_query,
+)
+
+
+VULNERABLE = """
+class Main {
+    static method main() {
+        pw = new String;
+        chars = pw.toCharArray();
+        spec = new PBEKeySpec;
+        spec.init(chars);
+    }
+}
+"""
+
+SAFE = """
+class Main {
+    static method main() {
+        chars = new CharArray;
+        spec = new PBEKeySpec;
+        spec.init(chars);
+    }
+}
+"""
+
+INDIRECT = """
+class Holder {
+    field stash : Object;
+}
+class Main {
+    static method main() {
+        pw = new String;
+        chars = pw.toCharArray();
+        holder = new Holder;
+        holder.stash = chars;
+        later = holder.stash;
+        spec = new PBEKeySpec;
+        spec.init(later);
+    }
+}
+"""
+
+
+def run_cs(source, fragments=()):
+    prog = parse_program(source)
+    facts = extract_facts(prog)
+    ci = ContextInsensitiveAnalysis(facts=facts).run()
+    cs = ContextSensitiveAnalysis(
+        facts=facts,
+        call_graph=ci.discovered_call_graph,
+        query_fragments=fragments,
+    ).run()
+    ie = list(ci.solver.relation("IE").tuples())
+    return cs, ie
+
+
+class TestSecurityAudit:
+    def test_flags_string_derived_key(self):
+        cs, ie = run_cs(VULNERABLE)
+        report = security_vulnerability_query(cs, ie)
+        assert report
+        assert any("call init" in site for _, site in report.vulnerable_sites)
+
+    def test_clean_program_not_flagged(self):
+        cs, ie = run_cs(SAFE)
+        report = security_vulnerability_query(cs, ie)
+        assert not report
+
+    def test_flags_flow_through_heap(self):
+        """'This query will also identify cases where the object has passed
+        through many variables and heap objects.'"""
+        cs, ie = run_cs(INDIRECT)
+        report = security_vulnerability_query(cs, ie)
+        assert report
+
+    def test_no_sink_in_program(self):
+        cs, ie = run_cs(SAFE)
+        report = security_vulnerability_query(
+            cs, ie, sink_method="Nothing.here"
+        )
+        assert not report
+
+
+LEAKY = """
+class Cache {
+    field slot : Object;
+}
+class Main {
+    static method main() {
+        cache = new Cache;
+        big = new Object;
+        cache.slot = big;
+    }
+}
+"""
+
+
+class TestMemoryLeak:
+    def test_who_points_to(self):
+        cs, _ = run_cs(LEAKY)
+        heap = [n for n in cs.facts.maps["H"] if "new Object" in n][0]
+        report = memory_leak_query(cs, heap)
+        assert ("Main.main@0:new Cache", "Cache.slot") in report.holders
+
+    def test_who_dunnit_contexts(self):
+        cs, _ = run_cs(LEAKY)
+        heap = [n for n in cs.facts.maps["H"] if "new Object" in n][0]
+        report = memory_leak_query(cs, heap)
+        assert report.writers
+        ctx, v1, f, v2 = report.writers[0]
+        assert f == "Cache.slot"
+        assert "cache" in v1 or "main" in v1
+
+    def test_unreferenced_object_has_no_holders(self):
+        cs, _ = run_cs(LEAKY)
+        heap = [n for n in cs.facts.maps["H"] if "new Cache" in n][0]
+        report = memory_leak_query(cs, heap)
+        assert report.holders == []
+
+
+POLYMORPHIC = """
+class Animal { }
+class Dog extends Animal { }
+class Cat extends Animal { }
+class Pen {
+    field occupant : Animal;
+}
+class Main {
+    static method fill(p : Pen, a : Animal) {
+        p.occupant = a;
+    }
+    static method main() {
+        var a : Animal;
+        dogPen = new Pen;
+        catPen = new Pen;
+        d = new Dog;
+        c = new Cat;
+        Main.fill(dogPen, d);
+        Main.fill(catPen, c);
+        a = dogPen.occupant;
+        var overDeclared : Animal;
+        overDeclared = new Dog;
+    }
+}
+"""
+
+
+class TestTypeRefinement:
+    def test_refinement_finds_tightenable_declaration(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        ci = ContextInsensitiveAnalysis(
+            facts=facts, query_fragments=["query_refinement_ci"]
+        ).run()
+        stats = refinement_stats(ci, "ci")
+        assert stats.refinable > 0
+
+    def test_precision_ordering_across_variants(self):
+        """Figure 6's trend: context-sensitive (full) <= projected <= CI
+        for multi-typed percentage; refinable grows with precision."""
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        ci = ContextInsensitiveAnalysis(
+            facts=facts, query_fragments=["query_refinement_ci"]
+        ).run()
+        cs = ContextSensitiveAnalysis(
+            facts=facts,
+            call_graph=ci.discovered_call_graph,
+            query_fragments=["query_refinement_cs_pointer"],
+        ).run()
+        ci_stats = refinement_stats(ci, "ci")
+        proj_stats = refinement_stats(cs, "projected")
+        full_stats = refinement_stats(cs, "full")
+        assert full_stats.multi <= proj_stats.multi <= ci_stats.multi
+        assert full_stats.refinable >= ci_stats.refinable
+
+    def test_cs_separates_pen_occupants(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        cs = ContextSensitiveAnalysis(
+            facts=facts, query_fragments=["query_refinement_cs_pointer"]
+        ).run()
+        full = refinement_stats(cs, "full")
+        # In every single context, `a` in fill holds exactly one type.
+        assert full.multi == 0.0
+
+
+class TestTypeAnalysis:
+    def test_types_flow_through_calls(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        ty = ContextSensitiveTypeAnalysis(program=prog).run()
+        got = ty.types_of("Main.fill", "a")
+        assert got == {"Dog", "Cat"}
+
+    def test_field_types(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        ty = ContextSensitiveTypeAnalysis(program=prog).run()
+        assert ty.field_types("Pen.occupant") == {"Dog", "Cat"}
+
+    def test_type_analysis_less_precise_than_pointer_load(self):
+        """The type analysis ignores the base object of loads (rule 23),
+        so dogPen.occupant gets both types; the pointer analysis keeps
+        them separate."""
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        ty = ContextSensitiveTypeAnalysis(facts=facts).run()
+        assert ty.types_of("Main.main", "a") == {"Dog", "Cat"}
+        cs = ContextSensitiveAnalysis(facts=facts).run()
+        assert cs.points_to("Main.main", "a") == {"Main.main@2:new Dog"}
+
+    def test_refinement_on_type_analysis(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        ty = ContextSensitiveTypeAnalysis(
+            facts=facts, query_fragments=["query_refinement_cs_type"]
+        ).run()
+        stats_p = refinement_stats(ty, "projected")
+        stats_f = refinement_stats(ty, "full")
+        assert stats_f.multi <= stats_p.multi
+
+
+class TestModRef:
+    def test_mod_of_store_method(self):
+        cs, _ = run_cs(LEAKY, fragments=["query_modref"])
+        mod, ref = mod_ref(cs, "Main.main")
+        assert ("Main.main@0:new Cache", "Cache.slot") in mod
+
+    def test_transitive_mod(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        cs = ContextSensitiveAnalysis(
+            facts=facts, query_fragments=["query_modref"]
+        ).run()
+        # main transitively calls fill, which stores into both pens.
+        mod, _ = mod_ref(cs, "Main.main")
+        assert ("Main.main@0:new Pen", "Pen.occupant") in mod
+        assert ("Main.main@1:new Pen", "Pen.occupant") in mod
+
+    def test_context_restricted_mod(self):
+        prog = parse_program(POLYMORPHIC, include_library=False)
+        facts = extract_facts(prog)
+        cs = ContextSensitiveAnalysis(
+            facts=facts, query_fragments=["query_modref"]
+        ).run()
+        # fill's two contexts modify different pens.
+        mods = [mod_ref(cs, "Main.fill", context=c)[0] for c in (1, 2)]
+        pens = [
+            {h for h, _ in m if "new Pen" in h} for m in mods
+        ]
+        assert pens[0] != pens[1]
+        assert all(len(p) == 1 for p in pens)
+
+    def test_mod_requires_fragment(self):
+        cs, _ = run_cs(LEAKY)
+        from repro.analysis import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            mod_ref(cs, "Main.main")

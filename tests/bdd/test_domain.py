@@ -1,0 +1,223 @@
+"""Unit tests for finite domains and the paper's range/offset primitives."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError, Domain, FALSE, TRUE, bits_for
+from repro.bdd.domain import equality_relation, offset_relation
+
+
+def make_domain(mgr, name, size, start_level):
+    bits = bits_for(size)
+    return Domain(mgr, name, size, list(range(start_level, start_level + bits)))
+
+
+@pytest.fixture
+def mgr():
+    return BDD(num_vars=32)
+
+
+def values_of(mgr, dom, node):
+    """Decode a one-attribute relation into a set of integers."""
+    out = set()
+    for bits in mgr.iter_assignments(node, dom.levels):
+        out.add(dom.decode(bits))
+    return out
+
+
+def pairs_of(mgr, a, b, node):
+    out = set()
+    levels = list(a.levels) + list(b.levels)
+    for bits in mgr.iter_assignments(node, levels):
+        out.add((a.decode(bits[: a.bits]), b.decode(bits[a.bits :])))
+    return out
+
+
+class TestBitsFor:
+    def test_small_sizes(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(4) == 2
+        assert bits_for(5) == 3
+        assert bits_for(256) == 8
+        assert bits_for(257) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BDDError):
+            bits_for(0)
+
+
+class TestDomainBasics:
+    def test_eq_const_decodes_back(self, mgr):
+        d = make_domain(mgr, "D", 10, 0)
+        for v in range(10):
+            assert values_of(mgr, d, d.eq_const(v)) == {v}
+
+    def test_eq_const_out_of_range(self, mgr):
+        d = make_domain(mgr, "D", 10, 0)
+        with pytest.raises(BDDError):
+            d.eq_const(10)
+        with pytest.raises(BDDError):
+            d.eq_const(-1)
+
+    def test_wrong_level_count_rejected(self, mgr):
+        with pytest.raises(BDDError):
+            Domain(mgr, "D", 10, [0, 1])  # needs 4 bits
+
+    def test_levels_must_increase(self, mgr):
+        with pytest.raises(BDDError):
+            Domain(mgr, "D", 10, [3, 2, 1, 0])
+
+    def test_varset_interned(self, mgr):
+        d = make_domain(mgr, "D", 16, 0)
+        assert d.varset() == d.varset()
+
+    def test_full_bdd(self, mgr):
+        d = make_domain(mgr, "D", 10, 0)
+        assert values_of(mgr, d, d.full_bdd()) == set(range(10))
+
+
+class TestRangePrimitive:
+    """Section 4.1: contiguous ranges in O(bits) operations."""
+
+    def test_leq_exhaustive(self, mgr):
+        d = make_domain(mgr, "D", 16, 0)
+        for bound in range(16):
+            assert values_of(mgr, d, d.leq_const(bound)) == set(range(bound + 1))
+
+    def test_geq_exhaustive(self, mgr):
+        d = make_domain(mgr, "D", 16, 0)
+        for bound in range(16):
+            assert values_of(mgr, d, d.geq_const(bound)) == set(range(bound, 16))
+
+    def test_range_exhaustive(self, mgr):
+        d = make_domain(mgr, "D", 16, 0)
+        for lo in range(16):
+            for hi in range(16):
+                expected = set(range(lo, hi + 1))
+                assert values_of(mgr, d, d.range_bdd(lo, hi)) == expected
+
+    def test_empty_range(self, mgr):
+        d = make_domain(mgr, "D", 16, 0)
+        assert d.range_bdd(5, 4) == FALSE
+
+    def test_range_is_linear_in_bits(self, mgr):
+        # A range over a 12-bit domain must not materialize thousands of
+        # nodes: the construction is O(bits), the result O(bits) as well.
+        big = BDD(num_vars=12)
+        d = Domain(big, "D", 4096, list(range(12)))
+        before = big.node_count()
+        d.range_bdd(100, 3000)
+        assert big.node_count() - before < 100
+
+    def test_range_count_matches(self, mgr):
+        d = make_domain(mgr, "D", 16, 4)
+        node = d.range_bdd(3, 11)
+        assert mgr.sat_count(node, d.levels) == 9
+
+
+class TestEqualityRelation:
+    def test_same_width(self, mgr):
+        a = make_domain(mgr, "A", 8, 0)
+        b = make_domain(mgr, "B", 8, 3)
+        eq = equality_relation(a, b)
+        expected = {(v, v) for v in range(8)}
+        assert pairs_of(mgr, a, b, eq) == expected
+
+    def test_mixed_width(self, mgr):
+        a = make_domain(mgr, "A", 4, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        eq = equality_relation(a, b)
+        assert pairs_of(mgr, a, b, eq) == {(v, v) for v in range(4)}
+
+    def test_different_managers_rejected(self, mgr):
+        a = make_domain(mgr, "A", 4, 0)
+        other = BDD(num_vars=8)
+        b = make_domain(other, "B", 4, 0)
+        with pytest.raises(BDDError):
+            equality_relation(a, b)
+
+
+class TestOffsetRelation:
+    """Section 4.1: callee contexts = caller contexts + constant."""
+
+    def test_zero_offset_is_restricted_identity(self, mgr):
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        rel = offset_relation(a, b, 0, 2, 5)
+        assert pairs_of(mgr, a, b, rel) == {(x, x) for x in range(2, 6)}
+
+    def test_positive_offset(self, mgr):
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        rel = offset_relation(a, b, 3, 1, 4)
+        assert pairs_of(mgr, a, b, rel) == {(x, x + 3) for x in range(1, 5)}
+
+    def test_offset_with_carry_chain(self, mgr):
+        # 7 + 1 = 8 flips every low bit: exercises carry propagation.
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        rel = offset_relation(a, b, 1, 7, 7)
+        assert pairs_of(mgr, a, b, rel) == {(7, 8)}
+
+    def test_negative_offset(self, mgr):
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        rel = offset_relation(a, b, -2, 5, 9)
+        assert pairs_of(mgr, a, b, rel) == {(x, x - 2) for x in range(5, 10)}
+
+    def test_overflow_excluded(self, mgr):
+        # x + delta beyond the destination width has no image.
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        rel = offset_relation(a, b, 10, 0, 15)
+        assert pairs_of(mgr, a, b, rel) == {(x, x + 10) for x in range(0, 6)}
+
+    def test_mixed_widths(self, mgr):
+        a = make_domain(mgr, "A", 4, 0)
+        b = make_domain(mgr, "B", 64, 8)
+        rel = offset_relation(a, b, 9, 0, 3)
+        assert pairs_of(mgr, a, b, rel) == {(x, x + 9) for x in range(4)}
+
+    def test_empty_range(self, mgr):
+        a = make_domain(mgr, "A", 16, 0)
+        b = make_domain(mgr, "B", 16, 8)
+        assert offset_relation(a, b, 1, 9, 3) == FALSE
+
+    def test_linear_size(self):
+        big = BDD(num_vars=40)
+        a = Domain(big, "A", 1 << 20, list(range(0, 40, 2)))
+        b = Domain(big, "B", 1 << 20, list(range(1, 40, 2)))
+        before = big.node_count()
+        offset_relation(a, b, 12345, 17, 900000)
+        # Interleaved source/destination bits keep the adder automaton and
+        # the range filters linear in the bit width.
+        assert big.node_count() - before < 1200
+
+
+class TestReplaceMapTo:
+    def test_rename_between_interleaved_domains(self):
+        mgr = BDD(num_vars=8)
+        a = Domain(mgr, "A", 16, [0, 2, 4, 6])
+        b = Domain(mgr, "B", 16, [1, 3, 5, 7])
+        node = a.eq_const(11)
+        renamed = mgr.replace(node, a.replace_map_to(b))
+        got = {b.decode(bits) for bits in mgr.iter_assignments(renamed, b.levels)}
+        assert got == {11}
+
+    def test_rename_to_wider_domain(self):
+        mgr = BDD(num_vars=16)
+        a = Domain(mgr, "A", 8, [0, 1, 2])
+        b = Domain(mgr, "B", 64, list(range(3, 9)))
+        node = a.eq_const(5)
+        renamed = mgr.replace(node, a.replace_map_to(b))
+        got = {b.decode(bits) for bits in mgr.iter_assignments(renamed, b.levels)}
+        # High bits of B are unconstrained by the rename: 5 plus multiples of 8.
+        assert 5 in got
+
+    def test_rename_to_narrower_rejected(self):
+        mgr = BDD(num_vars=8)
+        a = Domain(mgr, "A", 16, [0, 1, 2, 3])
+        b = Domain(mgr, "B", 4, [4, 5])
+        with pytest.raises(BDDError):
+            a.replace_map_to(b)

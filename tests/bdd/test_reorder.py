@@ -1,0 +1,102 @@
+"""Tests for block sifting and order-preserving rebuilds."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError, Domain
+from repro.bdd.domain import equality_relation
+from repro.bdd.reorder import (
+    count_nodes_under_order,
+    rebuild_with_levels,
+    sift_order,
+)
+
+
+def eval_bdd(mgr, u, assignment):
+    while u > 1:
+        v = mgr.var_of(u)
+        u = mgr.high(u) if assignment.get(v, False) else mgr.low(u)
+    return u == 1
+
+
+class TestRebuild:
+    def test_identity_rebuild_preserves_semantics(self):
+        src = BDD(num_vars=6)
+        f = src.or_(src.and_(src.var_bdd(0), src.var_bdd(3)), src.nvar_bdd(5))
+        dst = BDD(num_vars=6)
+        (g,) = rebuild_with_levels(src, [f], {i: i for i in range(6)}, dst)
+        for mask in range(64):
+            a = {i: bool((mask >> i) & 1) for i in range(6)}
+            assert eval_bdd(src, f, a) == eval_bdd(dst, g, a)
+
+    def test_permuted_rebuild_semantics(self):
+        src = BDD(num_vars=4)
+        f = src.and_(src.var_bdd(0), src.or_(src.var_bdd(1), src.var_bdd(3)))
+        perm = {0: 3, 1: 2, 2: 1, 3: 0}
+        dst = BDD(num_vars=4)
+        (g,) = rebuild_with_levels(src, [f], perm, dst)
+        for mask in range(16):
+            a = {i: bool((mask >> i) & 1) for i in range(4)}
+            pre = {perm[i]: a[i] for i in range(4)}
+            assert eval_bdd(src, f, a) == eval_bdd(dst, g, pre)
+
+    def test_missing_level_rejected(self):
+        src = BDD(num_vars=4)
+        f = src.var_bdd(2)
+        dst = BDD(num_vars=4)
+        with pytest.raises(BDDError):
+            rebuild_with_levels(src, [f], {0: 0}, dst)
+
+    def test_multiple_roots_share(self):
+        src = BDD(num_vars=4)
+        f = src.and_(src.var_bdd(0), src.var_bdd(1))
+        g = src.or_(f, src.var_bdd(2))
+        dst = BDD(num_vars=4)
+        nf, ng = rebuild_with_levels(src, [f, g], {i: i for i in range(4)}, dst)
+        assert dst.and_(dst.var_bdd(0), dst.var_bdd(1)) == nf
+
+
+class TestSifting:
+    def make_interleave_instance(self):
+        """Two 8-bit domains related by equality: interleaved order is
+        linear, concatenated order is exponential — sifting must find the
+        interleaving."""
+        mgr = BDD(num_vars=16)
+        a = Domain(mgr, "A", 256, list(range(8)))
+        b = Domain(mgr, "B", 256, list(range(8, 16)))
+        eq = equality_relation(a, b)
+        # Treat each bit pair as its own block so sifting can interleave.
+        blocks = {}
+        for i in range(8):
+            blocks[f"a{i}"] = [a.levels[i]]
+            blocks[f"b{i}"] = [b.levels[i]]
+        initial = [f"a{i}" for i in range(8)] + [f"b{i}" for i in range(8)]
+        return mgr, eq, blocks, initial
+
+    def test_count_nodes_under_order(self):
+        mgr, eq, blocks, initial = self.make_interleave_instance()
+        concat = count_nodes_under_order(mgr, [eq], initial, blocks)
+        interleaved_order = []
+        for i in range(8):
+            interleaved_order += [f"a{i}", f"b{i}"]
+        inter = count_nodes_under_order(mgr, [eq], interleaved_order, blocks)
+        assert inter < concat / 4
+
+    def test_sifting_improves_equality_relation(self):
+        mgr, eq, blocks, initial = self.make_interleave_instance()
+        start = count_nodes_under_order(mgr, [eq], initial, blocks)
+        order, best = sift_order(mgr, [eq], blocks, initial, max_rounds=2)
+        assert best < start
+        # The sifted order should be near-linear (pairs adjacent).
+        assert best <= 8 * 8
+
+    def test_sift_order_validates_blocks(self):
+        mgr, eq, blocks, initial = self.make_interleave_instance()
+        with pytest.raises(BDDError):
+            sift_order(mgr, [eq], blocks, initial[:-1])
+
+    def test_sift_stable_on_already_good_order(self):
+        mgr = BDD(num_vars=4)
+        f = mgr.and_(mgr.var_bdd(0), mgr.var_bdd(1))
+        blocks = {"x": [0], "y": [1], "z": [2], "w": [3]}
+        order, count = sift_order(mgr, [f], blocks, ["x", "y", "z", "w"])
+        assert count <= 4 + 2

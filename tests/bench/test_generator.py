@@ -1,0 +1,161 @@
+"""Tests for the workload generator, corpus, and harness plumbing."""
+
+import pytest
+
+from repro.bench.corpus import CORPUS, SMALL_SUBSET, corpus_entry, corpus_names
+from repro.bench.generator import WorkloadParams, generate_program
+from repro.ir import extract_facts
+from repro.callgraph import cha_call_graph, number_call_graph
+from repro.analysis import ContextInsensitiveAnalysis, ContextSensitiveAnalysis
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        p = WorkloadParams(seed=5, layers=6)
+        a = generate_program(p)
+        b = generate_program(p)
+        assert a.stats() == b.stats()
+        assert sorted(a.classes) == sorted(b.classes)
+
+    def test_different_seeds_differ(self):
+        a = generate_program(WorkloadParams(seed=1, layers=8, width=3))
+        b = generate_program(WorkloadParams(seed=2, layers=8, width=3))
+        facts_a = extract_facts(a)
+        facts_b = extract_facts(b)
+        # Same shape, but the rng-chosen call targets differ.
+        assert facts_a.relations["actual"] != facts_b.relations["actual"] or (
+            facts_a.relations["IE0"] != facts_b.relations["IE0"]
+        )
+
+    def test_programs_validate(self):
+        for layers in (3, 6, 10):
+            program = generate_program(WorkloadParams(seed=0, layers=layers))
+            program.validate()
+
+    def test_layers_control_size(self):
+        small = generate_program(WorkloadParams(seed=0, layers=4))
+        large = generate_program(WorkloadParams(seed=0, layers=12))
+        assert large.stats()["methods"] > small.stats()["methods"]
+
+    def test_threads_parameter(self):
+        no_threads = generate_program(WorkloadParams(seed=0, layers=4, threads=0))
+        threaded = generate_program(WorkloadParams(seed=0, layers=4, threads=2))
+        assert "Worker0" not in no_threads.classes
+        assert "Worker0" in threaded.classes and "Worker1" in threaded.classes
+
+    def test_path_count_exponential_in_layers(self):
+        counts = []
+        for layers in (6, 10, 14):
+            program = generate_program(
+                WorkloadParams(seed=3, layers=layers, width=2, fanout=2)
+            )
+            facts = extract_facts(program)
+            ci = ContextInsensitiveAnalysis(facts=facts).run()
+            entry = facts.method_id("Main.main")
+            numbering = number_call_graph(
+                ci.discovered_call_graph, entries=[entry]
+            )
+            counts.append(numbering.max_paths())
+        assert counts[0] < counts[1] < counts[2]
+        assert counts[2] > 50 * counts[0]
+
+    def test_recursion_creates_scc(self):
+        program = generate_program(
+            WorkloadParams(seed=0, layers=4, recursion_cliques=1)
+        )
+        facts = extract_facts(program)
+        graph = cha_call_graph(facts)
+        sccs = [c for c in graph.sccs() if len(c) > 1]
+        assert sccs, "the recursion clique should form a non-trivial SCC"
+
+    def test_no_library_variant(self):
+        program = generate_program(
+            WorkloadParams(seed=0, layers=4, use_library=False)
+        )
+        assert "String" not in program.classes
+        program.validate()
+
+
+class TestCorpus:
+    def test_21_entries_in_figure3_order(self):
+        assert len(CORPUS) == 21
+        assert CORPUS[0].name == "freetts"
+        assert CORPUS[8].name == "pmd"
+        assert CORPUS[-1].name == "gruntspud"
+
+    def test_names_unique(self):
+        names = [e.name for e in CORPUS]
+        assert len(set(names)) == 21
+
+    def test_small_subset_is_subset(self):
+        names = set(corpus_names())
+        assert set(SMALL_SUBSET) <= names
+        assert corpus_names(small=True) == SMALL_SUBSET
+
+    def test_single_threaded_entries_match_figure5(self):
+        # freetts, openwfe and pmd report exactly one escaped object in
+        # Figure 5 — they must be generated single-threaded.
+        for name in ("freetts", "openwfe", "pmd"):
+            assert corpus_entry(name).params.threads == 0
+        for name in ("nfcchat", "jetty", "azureus"):
+            assert corpus_entry(name).params.threads > 0
+
+    def test_entries_build(self):
+        program = corpus_entry("freetts").build()
+        program.validate()
+        assert program.stats()["methods"] > 20
+
+    def test_unknown_entry(self):
+        with pytest.raises(KeyError):
+            corpus_entry("nosuch")
+
+    def test_pmd_has_most_paths_per_method(self):
+        # The pmd phenomenon: path count out of proportion to size.
+        pmd = corpus_entry("pmd")
+        jboss = corpus_entry("jboss")
+        assert pmd.params.layers > 2 * jboss.params.layers
+
+
+class TestHarnessSmall:
+    @pytest.fixture(scope="class")
+    def freetts_run(self):
+        from repro.bench.harness import run_benchmark
+
+        return run_benchmark("freetts")
+
+    def test_run_benchmark_fields(self, freetts_run):
+        r = freetts_run
+        assert r.name == "freetts"
+        assert r.paths >= 1
+        assert r.alg1[0] > 0 and r.alg5[0] > 0
+        assert r.alg3_iterations >= 2
+
+    def test_figure_tables_render(self, freetts_run):
+        from repro.bench.harness import (
+            fig3_table,
+            fig4_table,
+            fig5_table,
+            fig6_table,
+        )
+
+        for fn in (fig3_table, fig4_table, fig5_table, fig6_table):
+            text, rows = fn([freetts_run])
+            assert "freetts" in text
+            assert rows and rows[0]["name"] == "freetts"
+
+    def test_escape_single_threaded_only_global(self, freetts_run):
+        assert freetts_run.escape_summary["escaped"] == 1
+        assert freetts_run.escape_summary["sync_needed"] == 0
+
+    def test_precision_ordering(self, freetts_run):
+        ref = freetts_run.refinement
+        assert ref["ci_nofilter"][0] >= ref["ci_filter"][0]
+        assert ref["ci_filter"][0] >= ref["cs_pointer_proj"][0]
+        assert ref["cs_pointer_proj"][0] >= ref["cs_pointer_full"][0]
+
+    def test_cost_ordering(self, freetts_run):
+        """Figure 4's qualitative shape: the context-sensitive pointer
+        analysis is the most expensive; the type analysis is cheaper."""
+        r = freetts_run
+        assert r.alg5[0] >= r.alg6[0] * 0.5  # type analysis not slower
+        assert r.alg5[1] >= r.alg2[1]        # CS uses more memory than CI

@@ -1,0 +1,107 @@
+"""Fast unit tests for table formatting (synthetic BenchmarkRun data —
+no analyses are executed)."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkRun,
+    _sci,
+    fig3_table,
+    fig4_table,
+    fig5_table,
+    fig6_table,
+)
+from repro.bench.report import build_report, qualitative_checks
+
+
+def make_run(name="synthetic", paths=10**12, threads=True):
+    refinement = {
+        "ci_nofilter": (20.0, 15.0),
+        "ci_filter": (17.0, 15.0),
+        "cs_pointer_proj": (0.3, 19.0),
+        "cs_type_proj": (2.0, 19.0),
+        "cs_pointer_full": (0.0, 19.0),
+        "cs_type_full": (1.9, 19.0),
+    }
+    return BenchmarkRun(
+        name=name,
+        stats={"classes": 20, "methods": 80, "statements": 700, "allocs": 130},
+        num_vars=650,
+        paths=paths,
+        alg1=(0.2, 60_000),
+        alg2=(0.25, 70_000),
+        alg3=(0.5, 90_000),
+        alg3_iterations=30,
+        alg5=(1.5, 230_000),
+        alg6=(0.8, 150_000),
+        alg7=(0.3, 90_000),
+        escape_summary={
+            "captured": 100,
+            "escaped": 4 if threads else 1,
+            "sync_unneeded": 2,
+            "sync_needed": 3 if threads else 0,
+        },
+        refinement=refinement,
+    )
+
+
+class TestSciFormat:
+    def test_small_numbers_verbatim(self):
+        assert _sci(0) == "0"
+        assert _sci(999) == "999"
+
+    def test_large_numbers_scientific(self):
+        assert _sci(1_000_000) == "1e6"
+        assert _sci(5 * 10**23) == "5e23"
+
+    def test_rounding(self):
+        assert _sci(9_400_000) == "9e6"
+
+
+class TestTables:
+    def test_fig3_columns(self):
+        text, rows = fig3_table([make_run()])
+        assert "synthetic" in text
+        assert "1e12" in text
+        assert rows[0]["paths"] == 10**12
+
+    def test_fig4_columns(self):
+        text, rows = fig4_table([make_run()])
+        assert "synthetic" in text
+        assert rows[0]["alg3_iterations"] == 30
+        # Memory shown in MB at 16 B/node.
+        assert f"{230_000 * 16 / 1e6:.1f}" in text
+
+    def test_fig5_columns(self):
+        text, rows = fig5_table([make_run()])
+        assert rows[0]["captured"] == 100
+
+    def test_fig6_columns(self):
+        text, rows = fig6_table([make_run()])
+        assert "full CS ptr" in text
+        assert rows[0]["cs_pointer_full"] == (0.0, 19.0)
+
+    def test_multiple_rows(self):
+        runs = [make_run("a"), make_run("b", paths=510)]
+        for fn in (fig3_table, fig4_table, fig5_table, fig6_table):
+            text, rows = fn(runs)
+            assert len(rows) == 2
+            assert "a" in text and "b" in text
+
+
+class TestReportOnSyntheticData:
+    def test_checks_on_good_data(self):
+        # Use a real corpus name so the threadedness lookup works.
+        runs = [make_run("jetty")]
+        checks = qualitative_checks(runs)
+        assert all(c.passed for c in checks)
+
+    def test_checks_flag_bad_escape(self):
+        run = make_run("freetts", threads=True)  # freetts is single-threaded
+        checks = qualitative_checks([run])
+        escape_check = next(c for c in checks if "Single-threaded" in c.claim)
+        assert not escape_check.passed
+
+    def test_report_renders(self):
+        text = build_report([make_run("jetty")])
+        assert "Claim checklist" in text

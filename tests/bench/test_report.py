@@ -1,0 +1,90 @@
+"""Tests for the markdown report and escape specialization APIs."""
+
+import pytest
+
+from repro.bench.harness import run_benchmark
+from repro.bench.report import ReportCheck, build_report, qualitative_checks
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [run_benchmark("freetts"), run_benchmark("jetty")]
+
+
+class TestReport:
+    def test_checks_pass_on_corpus(self, runs):
+        checks = qualitative_checks(runs)
+        assert checks
+        failed = [c for c in checks if not c.passed]
+        assert failed == [], f"failing claims: {[c.claim for c in failed]}"
+
+    def test_build_report_structure(self, runs):
+        text = build_report(runs)
+        assert "# Reproduction report" in text
+        assert "Figure 3" in text and "Figure 6" in text
+        assert "- [x]" in text
+        assert "freetts" in text and "jetty" in text
+
+    def test_extra_sections_rendered(self, runs):
+        text = build_report(runs, extra_sections={"Custom": "hello world"})
+        assert "## Custom" in text
+        assert "hello world" in text
+
+
+class TestSyncSpecialization:
+    def test_per_context_syncs(self):
+        from repro.analysis import ThreadEscapeAnalysis
+        from repro.ir import parse_program
+
+        source = """
+class Worker extends Thread {
+    method run() {
+        seen = Main.channel;
+        sync seen;
+    }
+}
+class Main {
+    static field channel : Object;
+    static method main() {
+        o = new Object;
+        Main.channel = o;
+        w = new Worker;
+        w.start();
+        private = new Object;
+        sync private;
+    }
+}
+"""
+        result = ThreadEscapeAnalysis(
+            program=parse_program(source, include_library=False)
+        ).run()
+        spec = result.sync_specialization()
+        # The private sync is needed in no context at all.
+        private = next(name for name in spec if "private" in name)
+        assert not any(spec[private].values())
+        # The shared sync is needed in at least one thread context.
+        shared = next(name for name in spec if "seen" in name)
+        assert any(spec[shared].values())
+
+    def test_context_count(self):
+        from repro.analysis import ThreadEscapeAnalysis
+        from repro.ir import parse_program
+
+        source = """
+class W extends Thread {
+    method run() {
+        o = new Object;
+    }
+}
+class Main {
+    static method main() {
+        w = new W;
+        w.start();
+    }
+}
+"""
+        result = ThreadEscapeAnalysis(
+            program=parse_program(source, include_library=False)
+        ).run()
+        # global + main + two clones of the one creation site.
+        assert result.thread_contexts_count() == 4

@@ -1,0 +1,236 @@
+"""Tests for SCCs, CHA call graphs, and Algorithm 4 path numbering —
+including the paper's Figure 1/2 worked example."""
+
+import pytest
+
+from repro.bdd import BDD, Domain, bits_for
+from repro.callgraph import CallGraph, number_call_graph
+
+
+def decode_iec(mgr, c0, i0, c1, m0, node):
+    out = set()
+    levels = list(c0.levels) + list(i0.levels) + list(c1.levels) + list(m0.levels)
+    for bits in mgr.iter_assignments(node, levels):
+        pos = 0
+        vals = []
+        for dom in (c0, i0, c1, m0):
+            vals.append(dom.decode(bits[pos : pos + dom.bits]))
+            pos += dom.bits
+        out.add(tuple(vals))
+    return out
+
+
+class TestCallGraph:
+    def test_multigraph_edges(self):
+        g = CallGraph()
+        g.add_edge(10, 1, 2)
+        g.add_edge(11, 1, 2)
+        assert g.edge_count() == 2
+        assert g.call_targets(10) == {2}
+
+    def test_scc_cycle(self):
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 3, 2)
+        comps = {frozenset(c) for c in g.sccs()}
+        assert frozenset({2, 3}) in comps
+        assert frozenset({1}) in comps
+
+    def test_condensation_topological(self):
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        comp_of, comps = g.condensation()
+        assert comp_of[1] < comp_of[2] < comp_of[3]
+
+    def test_reachable(self):
+        g = CallGraph(methods=[1, 2, 3, 4])
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 3, 4)
+        assert g.reachable_from([1]) == {1, 2}
+
+
+class TestFigure1Example:
+    """The paper's Example 1/2: M2 and M3 form an SCC; M6 has 6 contexts."""
+
+    def make(self):
+        # Methods 1..6; edges named a..i as in Figure 1.
+        g = CallGraph()
+        g.add_edge(ord("a"), 1, 2)  # a: M1 -> M2
+        g.add_edge(ord("b"), 1, 3)  # b: M1 -> M3
+        g.add_edge(ord("c"), 2, 3)  # c: M2 -> M3 (in SCC)
+        g.add_edge(ord("d"), 3, 2)  # d: M3 -> M2 (in SCC)
+        g.add_edge(ord("e"), 2, 4)  # e: M2 -> M4
+        g.add_edge(ord("f"), 3, 4)  # f: M3 -> M4
+        g.add_edge(ord("g"), 3, 5)  # g: M3 -> M5
+        g.add_edge(ord("h"), 4, 6)  # h: M4 -> M6
+        g.add_edge(ord("i"), 5, 6)  # i: M5 -> M6
+        return g
+
+    def test_context_counts_match_paper(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        assert numbering.num_contexts(1) == 1
+        # "The strongly connected component is reached by two edges from
+        # M1 ... we create two clones."
+        assert numbering.num_contexts(2) == 2
+        assert numbering.num_contexts(3) == 2
+        # "Thus M4 has four clones."
+        assert numbering.num_contexts(4) == 4
+        # "Method M5 has two clones."
+        assert numbering.num_contexts(5) == 2
+        # "Finally, method M6 has six clones."
+        assert numbering.num_contexts(6) == 6
+
+    def test_max_paths(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        assert numbering.max_paths() == 6
+
+    def test_scc_members_share_counts(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        assert numbering.exact_counts[2] == numbering.exact_counts[3]
+
+    def test_intra_scc_edges_are_identity(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        intra = [
+            r for r in numbering.ranges
+            if {r.caller, r.callee} == {2, 3} and r.delta == 0
+        ]
+        assert len(intra) == 2  # edges c and d
+        for r in intra:
+            assert (r.lo, r.hi) == (1, 2)
+
+    def test_clone_ranges_contiguous(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        # M6's incoming edges partition 1..6: h maps M4's 4 contexts to
+        # 1..4, i maps M5's 2 contexts to 5..6 (visit order h then i).
+        into6 = sorted(
+            (r.delta, r.lo, r.hi) for r in numbering.ranges if r.callee == 6
+        )
+        covered = set()
+        for delta, lo, hi in into6:
+            covered.update(range(lo + delta, hi + delta + 1))
+        assert covered == {1, 2, 3, 4, 5, 6}
+
+    def test_iec_bdd_matches_ranges(self):
+        numbering = number_call_graph(self.make(), entries=[1])
+        csize = numbering.context_domain_size()
+        cbits = bits_for(csize)
+        mgr = BDD(num_vars=2 * cbits + 16)
+        c0 = Domain(mgr, "C0", csize, list(range(0, 2 * cbits, 2)))
+        c1 = Domain(mgr, "C1", csize, list(range(1, 2 * cbits, 2)))
+        i0 = Domain(mgr, "I0", 256, list(range(2 * cbits, 2 * cbits + 8)))
+        m0 = Domain(mgr, "M0", 256, list(range(2 * cbits + 8, 2 * cbits + 16)))
+        node = numbering.build_iec(mgr, c0, i0, c1, m0)
+        tuples = decode_iec(mgr, c0, i0, c1, m0, node)
+        # Edge h: M4's contexts 1..4 -> M6's contexts 1..4.
+        for c in range(1, 5):
+            assert (c, ord("h"), c, 6) in tuples
+        # Edge i: M5's contexts 1..2 -> M6's contexts 5..6.
+        assert (1, ord("i"), 5, 6) in tuples
+        assert (2, ord("i"), 6, 6) in tuples
+        # Intra-SCC identity on c and d.
+        assert (1, ord("c"), 1, 3) in tuples and (2, ord("c"), 2, 3) in tuples
+        assert (1, ord("d"), 1, 2) in tuples and (2, ord("d"), 2, 2) in tuples
+
+
+class TestNumberingProperties:
+    def test_diamond_doubles_paths(self):
+        # Layered diamonds: each layer doubles the path count.
+        g = CallGraph()
+        site = 0
+        layers = 10
+        for layer in range(layers):
+            a, b, c, d = layer * 3 + 1, layer * 3 + 2, layer * 3 + 3, layer * 3 + 4
+            for src, dst in [(a, b), (a, c), (b, d), (c, d)]:
+                g.add_edge(site, src, dst)
+                site += 1
+        numbering = number_call_graph(g, entries=[1])
+        assert numbering.max_paths() == 2 ** layers
+
+    def test_cap_merges_overflow(self):
+        g = CallGraph()
+        site = 0
+        for layer in range(6):
+            a, b, c, d = layer * 3 + 1, layer * 3 + 2, layer * 3 + 3, layer * 3 + 4
+            for src, dst in [(a, b), (a, c), (b, d), (c, d)]:
+                g.add_edge(site, src, dst)
+                site += 1
+        capped = number_call_graph(g, entries=[1], cap=15)
+        assert capped.max_paths() == 64  # exact counts still exact
+        assert max(capped.counts.values()) == 15
+        assert any(r.collapse_to == 15 for r in capped.ranges)
+
+    def test_recursion_reduces_to_scc(self):
+        # main -> f, f -> f (self-recursive), f -> g.
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 2)
+        g.add_edge(2, 2, 3)
+        numbering = number_call_graph(g, entries=[1])
+        assert numbering.num_contexts(2) == 1
+        assert numbering.num_contexts(3) == 1
+        # The self-edge is an identity range.
+        self_edges = [r for r in numbering.ranges if r.caller == 2 and r.callee == 2]
+        assert self_edges and self_edges[0].delta == 0
+
+    def test_unreached_methods_get_singleton(self):
+        g = CallGraph(methods=[1, 2, 99])
+        g.add_edge(0, 1, 2)
+        numbering = number_call_graph(g, entries=[1])
+        assert numbering.num_contexts(99) == 1
+
+    def test_mc_relation(self):
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 1, 2)
+        numbering = number_call_graph(g, entries=[1])
+        assert numbering.num_contexts(2) == 2
+        csize = numbering.context_domain_size()
+        cbits = bits_for(csize)
+        mgr = BDD(num_vars=cbits + 3)
+        c0 = Domain(mgr, "C0", csize, list(range(cbits)))
+        m0 = Domain(mgr, "M0", 8, [cbits, cbits + 1, cbits + 2])
+        node = numbering.build_mc(mgr, c0, m0)
+        tuples = set()
+        levels = list(c0.levels) + list(m0.levels)
+        for bits in mgr.iter_assignments(node, levels):
+            tuples.add((c0.decode(bits[:cbits]), m0.decode(bits[cbits:])))
+        assert (1, 1) in tuples
+        assert (1, 2) in tuples and (2, 2) in tuples
+        assert (3, 2) not in tuples
+
+    def test_global_site_full_range(self):
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        numbering = number_call_graph(g, entries=[1])
+        csize = numbering.context_domain_size()
+        cbits = bits_for(csize)
+        mgr = BDD(num_vars=2 * cbits + 8)
+        c0 = Domain(mgr, "C0", csize, list(range(0, 2 * cbits, 2)))
+        c1 = Domain(mgr, "C1", csize, list(range(1, 2 * cbits, 2)))
+        i0 = Domain(mgr, "I0", 16, list(range(2 * cbits, 2 * cbits + 4)))
+        m0 = Domain(mgr, "M0", 16, list(range(2 * cbits + 4, 2 * cbits + 8)))
+        node = numbering.build_iec(mgr, c0, i0, c1, m0, global_site=7, global_method=1)
+        tuples = decode_iec(mgr, c0, i0, c1, m0, node)
+        for c in range(csize):
+            assert (c, 7, c, 1) in tuples
+
+    def test_alloc_site_identity_rows(self):
+        g = CallGraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 1, 2)
+        numbering = number_call_graph(g, entries=[1])
+        csize = numbering.context_domain_size()
+        cbits = bits_for(csize)
+        mgr = BDD(num_vars=2 * cbits + 8)
+        c0 = Domain(mgr, "C0", csize, list(range(0, 2 * cbits, 2)))
+        c1 = Domain(mgr, "C1", csize, list(range(1, 2 * cbits, 2)))
+        i0 = Domain(mgr, "I0", 16, list(range(2 * cbits, 2 * cbits + 4)))
+        m0 = Domain(mgr, "M0", 16, list(range(2 * cbits + 4, 2 * cbits + 8)))
+        node = numbering.build_iec(
+            mgr, c0, i0, c1, m0, alloc_sites={2: [9]}
+        )
+        tuples = decode_iec(mgr, c0, i0, c1, m0, node)
+        assert (1, 9, 1, 2) in tuples and (2, 9, 2, 2) in tuples
+        assert (1, 9, 2, 2) not in tuples

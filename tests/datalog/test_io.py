@@ -1,0 +1,141 @@
+"""Tests for .map/.tuples serialization."""
+
+import pytest
+
+from repro.datalog import DatalogError, Solver, parse_program
+from repro.datalog.io import (
+    load_relation,
+    load_solver_inputs,
+    read_map,
+    read_tuples,
+    save_relation,
+    save_solver_outputs,
+    write_map,
+    write_tuples,
+)
+
+TC = """
+.domains
+N 32
+.relations
+edge (src : N0, dst : N1) input
+path (src : N0, dst : N1) output
+.rules
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+"""
+
+
+class TestMapFiles:
+    def test_roundtrip(self, tmp_path):
+        names = ["alpha", "beta", "gamma"]
+        path = tmp_path / "V.map"
+        write_map(path, names)
+        assert read_map(path) == names
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.map"
+        write_map(path, [])
+        assert read_map(path) == []
+
+    def test_names_with_special_chars(self, tmp_path):
+        names = ["Main.main:x", "a.java:57", "<global>"]
+        path = tmp_path / "H.map"
+        write_map(path, names)
+        assert read_map(path) == names
+
+
+class TestTupleFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.tuples"
+        n = write_tuples(path, [(1, 2), (3, 4)], header="a:N0 b:N1")
+        assert n == 2
+        assert read_tuples(path) == [(1, 2), (3, 4)]
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "r.tuples"
+        path.write_text("# a:N0 b:N1\n1 2\n\n# comment\n3 4\n")
+        assert read_tuples(path) == [(1, 2), (3, 4)]
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "r.tuples"
+        path.write_text("1 two\n")
+        with pytest.raises(DatalogError):
+            read_tuples(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "r.tuples"
+        write_tuples(path, [])
+        assert read_tuples(path) == []
+
+
+class TestRelationIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        solver = Solver(parse_program(TC))
+        solver.add_tuples("edge", [(0, 1), (1, 2)])
+        solver.solve()
+        path = tmp_path / "path.tuples"
+        n = save_relation(solver.relation("path"), path)
+        assert n == 3
+
+        other = Solver(parse_program(TC))
+        load_relation(other.relation("edge"), path)  # reuse as input
+        assert set(other.relation("edge").tuples()) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_load_replaces_contents(self, tmp_path):
+        solver = Solver(parse_program(TC))
+        solver.add_tuples("edge", [(9, 9)])
+        path = tmp_path / "e.tuples"
+        path.write_text("1 2\n")
+        load_relation(solver.relation("edge"), path)
+        assert set(solver.relation("edge").tuples()) == {(1, 2)}
+
+    def test_arity_mismatch_rejected(self, tmp_path):
+        solver = Solver(parse_program(TC))
+        path = tmp_path / "bad.tuples"
+        path.write_text("1 2 3\n")
+        with pytest.raises(DatalogError):
+            load_relation(solver.relation("edge"), path)
+
+    def test_header_records_schema(self, tmp_path):
+        solver = Solver(parse_program(TC))
+        solver.add_tuples("edge", [(0, 1)])
+        path = tmp_path / "edge.tuples"
+        save_relation(solver.relation("edge"), path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#") and "src:N0" in first and "dst:N1" in first
+
+
+class TestSolverIO:
+    def test_save_outputs_and_reload_as_inputs(self, tmp_path):
+        solver = Solver(parse_program(TC), name_maps={"N": [f"n{i}" for i in range(32)]})
+        solver.add_tuples("edge", [(0, 1), (1, 2), (2, 3)])
+        solver.solve()
+        counts = save_solver_outputs(solver, tmp_path)
+        assert counts == {"path": 6}
+        assert (tmp_path / "path.tuples").exists()
+        assert (tmp_path / "N.map").exists()
+        assert read_map(tmp_path / "N.map")[1] == "n1"
+
+        # A second program consumes the saved result as input.
+        consumer_text = """
+.domains
+N 32
+.relations
+path (src : N0, dst : N1) input
+endpoints (src : N0, dst : N1) output
+.rules
+endpoints(x, y) :- path(x, y), x = 0.
+"""
+        consumer = Solver(parse_program(consumer_text))
+        # Rename file to match the consumer's input relation name.
+        loaded = load_solver_inputs(consumer, tmp_path)
+        assert loaded == {"path": 6}
+        consumer.solve()
+        assert set(consumer.relation("endpoints").tuples()) == {
+            (0, 1), (0, 2), (0, 3),
+        }
+
+    def test_missing_input_files_skipped(self, tmp_path):
+        solver = Solver(parse_program(TC))
+        assert load_solver_inputs(solver, tmp_path) == {}

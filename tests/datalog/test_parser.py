@@ -1,0 +1,292 @@
+"""Tests for the Datalog parser and AST validation."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Comparison,
+    DatalogError,
+    DontCare,
+    NamedConst,
+    NumberConst,
+    Variable,
+    parse_program,
+)
+
+BASIC = """
+# Algorithm 1, verbatim shape.
+.domains
+V 262144 variable.map
+H 65536
+
+.relations
+vP0    (variable : V, heap : H) input
+assign (dest : V0, source : V1) input
+vP     (variable : V, heap : H) output
+
+.rules
+vP(v, h)  :- vP0(v, h).
+vP(v1, h) :- assign(v1, v2), vP(v2, h).
+"""
+
+
+class TestSections:
+    def test_domains_parsed(self):
+        prog = parse_program(BASIC)
+        assert prog.domains["V"].size == 262144
+        assert prog.domains["V"].map_file == "variable.map"
+        assert prog.domains["H"].map_file is None
+
+    def test_relations_parsed(self):
+        prog = parse_program(BASIC)
+        vp0 = prog.relations["vP0"]
+        assert vp0.is_input and not vp0.is_output
+        assert [a.name for a in vp0.attributes] == ["variable", "heap"]
+        assert [a.domain for a in vp0.attributes] == ["V", "H"]
+
+    def test_explicit_instances(self):
+        prog = parse_program(BASIC)
+        assign = prog.relations["assign"]
+        assert assign.resolved_instances() == (0, 1)
+
+    def test_default_instances_count_up(self):
+        prog = parse_program(
+            """
+.domains
+V 16
+.relations
+r (a : V, b : V, c : V)
+.rules
+"""
+        )
+        assert prog.relations["r"].resolved_instances() == (0, 1, 2)
+
+    def test_rules_parsed(self):
+        prog = parse_program(BASIC)
+        assert len(prog.rules) == 2
+        rule = prog.rules[1]
+        assert rule.head.relation == "vP"
+        assert [a.relation for a in rule.positive_atoms] == ["assign", "vP"]
+
+    def test_comments_ignored(self):
+        prog = parse_program(
+            """
+.domains
+V 4   # inline comment
+// another comment
+.relations
+r (a : V)
+.rules
+r(x) :- r(x).  # trailing
+"""
+        )
+        assert len(prog.rules) == 1
+
+    def test_multiline_rule(self):
+        prog = parse_program(
+            """
+.domains
+V 4
+H 4
+.relations
+a (x : V, y : H)
+b (x : V, y : H)
+.rules
+a(x, y) :-
+    b(x, y).
+"""
+        )
+        assert len(prog.rules) == 1
+
+    def test_content_before_section_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("V 4\n.domains\n")
+
+
+class TestTerms:
+    def test_constants_and_dontcares(self):
+        prog = parse_program(
+            """
+.domains
+I 16
+Z 4
+V 8
+.rules
+.relations
+actual (invoke : I, param : Z, var : V)
+recv (invoke : I, var : V)
+.rules
+recv(i, v) :- actual(i, 0, v).
+"""
+        )
+        atom = prog.rules[0].positive_atoms[0]
+        assert isinstance(atom.terms[1], NumberConst)
+        assert atom.terms[1].value == 0
+
+    def test_named_constant(self):
+        prog = parse_program(
+            """
+.domains
+H 8
+F 8
+.relations
+hP (base : H, field : F, target : H)
+who (h : H, f : F)
+.rules
+who(h, f) :- hP(h, f, "a.java:57").
+"""
+        )
+        atom = prog.rules[0].positive_atoms[0]
+        assert isinstance(atom.terms[2], NamedConst)
+        assert atom.terms[2].name == "a.java:57"
+
+    def test_dontcare(self):
+        prog = parse_program(
+            """
+.domains
+V 8
+H 8
+.relations
+vP (v : V, h : H)
+hasPt (v : V)
+.rules
+hasPt(v) :- vP(v, _).
+"""
+        )
+        atom = prog.rules[0].positive_atoms[0]
+        assert isinstance(atom.terms[1], DontCare)
+
+    def test_negation(self):
+        prog = parse_program(
+            """
+.domains
+V 8
+T 8
+.relations
+varExactTypes (v : V, t : T)
+notVarType (v : V, t : T)
+varSuperTypes (v : V, t : T)
+aT (super : T, sub : T)
+.rules
+notVarType(v, t) :- varExactTypes(v, tv), !aT(t, tv).
+varSuperTypes(v, t) :- !notVarType(v, t).
+"""
+        )
+        assert prog.rules[0].negative_atoms[0].relation == "aT"
+        assert prog.rules[1].negative_atoms[0].relation == "notVarType"
+
+    def test_comparison(self):
+        prog = parse_program(
+            """
+.domains
+T 8
+V 8
+.relations
+vT (v : V, t : T)
+refinable (v : V, t : T)
+varSuperTypes (v : V, t : T)
+aT (super : T, sub : T)
+.rules
+refinable(v, tc) :- vT(v, td), varSuperTypes(v, tc), aT(td, tc), td != tc.
+"""
+        )
+        comps = prog.rules[0].comparisons
+        assert len(comps) == 1
+        assert comps[0].op == "!="
+
+
+class TestValidation:
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+.relations
+a (x : V)
+.rules
+a(x) :- nosuch(x).
+"""
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+.relations
+a (x : V)
+b (x : V, y : V)
+.rules
+a(x) :- b(x).
+"""
+            )
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+H 4
+.relations
+a (x : V)
+b (x : H)
+.rules
+a(x) :- b(x).
+"""
+            )
+
+    def test_dontcare_in_head_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+.relations
+a (x : V, y : V)
+b (x : V)
+.rules
+a(x, _) :- b(x).
+"""
+            )
+
+    def test_unknown_domain_in_relation(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+.relations
+a (x : W)
+.rules
+"""
+            )
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program(
+                """
+.domains
+V 4
+.relations
+a (x : V)
+a (x : V)
+.rules
+"""
+            )
+
+    def test_size_override(self):
+        prog = parse_program(BASIC, domain_sizes={"V": 100, "H": 10})
+        assert prog.domains["V"].size == 100
+        assert prog.domains["H"].size == 10
+
+    def test_size_override_unknown_domain(self):
+        with pytest.raises(DatalogError):
+            parse_program(BASIC, domain_sizes={"Q": 5})
+
+    def test_rule_str_roundtrip_shape(self):
+        prog = parse_program(BASIC)
+        text = str(prog.rules[1])
+        assert "vP(v1, h)" in text and "assign(v1, v2)" in text

@@ -1,0 +1,100 @@
+"""Focused unit tests for the Relation layer's set-algebra operations."""
+
+import pytest
+
+from repro.bdd import BDDError
+from repro.datalog import Solver, parse_program
+
+TEXT = """
+.domains
+A 16
+B 16
+.relations
+r (x : A, y : B) input
+s (x : A, y : B) input
+out (x : A, y : B) output
+.rules
+out(x, y) :- r(x, y).
+"""
+
+
+@pytest.fixture()
+def solver():
+    sol = Solver(parse_program(TEXT))
+    sol.add_tuples("r", [(1, 2), (1, 3), (4, 5)])
+    sol.add_tuples("s", [(1, 2), (9, 9)])
+    return sol
+
+
+class TestRelationAlgebra:
+    def test_select_single_attribute(self, solver):
+        sel = solver.relation("r").select(x=1)
+        assert set(sel.tuples()) == {(2,), (3,)}
+
+    def test_select_all_attributes(self, solver):
+        sel = solver.relation("r").select(x=1, y=2)
+        assert set(sel.tuples()) == {()}
+
+    def test_select_unknown_attribute(self, solver):
+        with pytest.raises(BDDError):
+            solver.relation("r").select(nope=1)
+
+    def test_project(self, solver):
+        proj = solver.relation("r").project("x")
+        assert set(proj.tuples()) == {(1,), (4,)}
+
+    def test_project_reorder(self, solver):
+        proj = solver.relation("r").project("y", "x")
+        # Attribute order in output follows the relation's schema order.
+        names = [a.name for a in proj.attributes]
+        assert set(names) == {"x", "y"}
+
+    def test_project_unknown(self, solver):
+        with pytest.raises(BDDError):
+            solver.relation("r").project("z")
+
+    def test_union_node_returns_delta(self, solver):
+        r = solver.relation("r")
+        s = solver.relation("s")
+        delta = r.union_node(s.node)
+        assert delta != 0  # (9, 9) was new
+        assert r.contains((9, 9))
+        # Unioning again yields no delta.
+        assert r.union_node(s.node) == 0
+
+    def test_contains(self, solver):
+        assert solver.relation("r").contains((1, 2))
+        assert not solver.relation("r").contains((2, 1))
+
+    def test_count_and_is_empty(self, solver):
+        assert solver.relation("r").count() == 3
+        assert not solver.relation("r").is_empty()
+        solver.relation("r").clear()
+        assert solver.relation("r").is_empty()
+        assert solver.relation("r").count() == 0
+
+    def test_add_tuple_incremental(self, solver):
+        r = solver.relation("r")
+        before = r.version
+        r.add_tuple((7, 7))
+        assert r.contains((7, 7))
+        assert r.version > before
+
+    def test_set_tuples_replaces(self, solver):
+        r = solver.relation("r")
+        r.set_tuples([(0, 0)])
+        assert set(r.tuples()) == {(0, 0)}
+
+    def test_arity_mismatch(self, solver):
+        with pytest.raises(BDDError):
+            solver.relation("r").add_tuple((1, 2, 3))
+
+    def test_version_unchanged_on_noop(self, solver):
+        r = solver.relation("r")
+        v = r.version
+        r.set_node(r.node)
+        assert r.version == v
+
+    def test_levels_cover_all_attributes(self, solver):
+        r = solver.relation("r")
+        assert len(r.levels()) == sum(a.phys.bits for a in r.attributes)

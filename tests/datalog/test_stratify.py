@@ -1,0 +1,225 @@
+"""Tests for predicate stratification and rule compilation internals."""
+
+import pytest
+
+from repro.datalog import DatalogError, parse_program, stratify
+from repro.datalog.compiler import compile_rule, instance_requirements
+
+
+def strata_of(text):
+    prog = parse_program(text)
+    return prog, stratify(prog)
+
+
+class TestStratify:
+    def test_single_stratum_recursion(self):
+        prog, strata = strata_of(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+.rules
+p(x, y) :- e(x, y).
+p(x, z) :- p(x, y), e(y, z).
+"""
+        )
+        p_stratum = next(s for s in strata if "p" in s.predicates)
+        assert p_stratum.is_recursive()
+        assert len(p_stratum.recursive_rules) == 1
+
+    def test_negation_forces_later_stratum(self):
+        prog, strata = strata_of(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+q (a : N0, b : N1)
+.rules
+p(x, y) :- e(x, y).
+p(x, z) :- p(x, y), e(y, z).
+q(x, y) :- e(x, y), !p(x, y).
+"""
+        )
+        p_idx = next(s.index for s in strata if "p" in s.predicates)
+        q_idx = next(s.index for s in strata if "q" in s.predicates)
+        assert p_idx < q_idx
+
+    def test_dependencies_evaluated_first(self):
+        prog, strata = strata_of(
+            """
+.domains
+N 8
+.relations
+a (x : N)
+b (x : N)
+c (x : N)
+.rules
+b(x) :- a(x).
+c(x) :- b(x).
+"""
+        )
+        order = {p: s.index for s in strata for p in s.predicates}
+        assert order["a"] <= order["b"] <= order["c"]
+
+    def test_mutual_recursion_single_stratum(self):
+        prog, strata = strata_of(
+            """
+.domains
+N 8
+.relations
+n (a : N0, b : N1)
+even (x : N)
+odd (x : N)
+.rules
+odd(y) :- even(x), n(x, y).
+even(y) :- odd(x), n(x, y).
+"""
+        )
+        stratum = next(s for s in strata if "even" in s.predicates)
+        assert "odd" in stratum.predicates
+
+    def test_unstratified_detected(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+p (x : N)
+q (x : N)
+.rules
+p(x) :- q(x).
+q(x) :- !p(x).
+"""
+        )
+        with pytest.raises(DatalogError):
+            stratify(prog)
+
+    def test_negative_self_loop_detected(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+p (x : N)
+a (x : N)
+.rules
+p(x) :- a(x), !p(x).
+"""
+        )
+        with pytest.raises(DatalogError):
+            stratify(prog)
+
+
+class TestCompiler:
+    def test_instance_requirements_cover_rule_variables(self):
+        prog = parse_program(
+            """
+.domains
+V 8
+H 8
+.relations
+assign (d : V0, s : V1)
+vP (v : V, h : H)
+.rules
+vP(v1, h) :- assign(v1, v2), vP(v2, h).
+"""
+        )
+        reqs = instance_requirements(prog)
+        assert reqs["V"] >= 2
+        assert reqs["H"] >= 1
+
+    def test_three_variable_rule_needs_three_instances(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+.rules
+p(x, z) :- p(x, y), e(y, z).
+"""
+        )
+        reqs = instance_requirements(prog)
+        assert reqs["N"] >= 3
+
+    def test_plan_projects_dead_variables_at_join(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+.rules
+p(x, z) :- p(x, y), e(y, z).
+"""
+        )
+        plan = compile_rule(prog, prog.rules[0], None)
+        # y is dead after the second atom: the join must project it.
+        from repro.datalog.compiler import AtomStep
+
+        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
+        assert len(atom_steps) == 2
+        assert atom_steps[1].join_project, "join variable y should be projected"
+
+    def test_delta_variant_marks_delta_atom(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+.rules
+p(x, z) :- p(x, y), e(y, z).
+"""
+        )
+        from repro.datalog.compiler import AtomStep
+
+        plan = compile_rule(prog, prog.rules[0], 0)  # p is positive atom 0
+        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
+        assert atom_steps[0].use_delta
+        assert not atom_steps[1].use_delta
+
+    def test_delta_atom_ordered_first(self):
+        prog = parse_program(
+            """
+.domains
+N 8
+.relations
+e (a : N0, b : N1)
+p (a : N0, b : N1)
+.rules
+p(x, z) :- e(x, y), p(y, z).
+"""
+        )
+        from repro.datalog.compiler import AtomStep
+
+        plan = compile_rule(prog, prog.rules[0], 1)  # delta on p (index 1)
+        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
+        assert atom_steps[0].prep.relation == "p"
+        assert atom_steps[0].use_delta
+
+    def test_phys_refs_enumerates_touched_domains(self):
+        prog = parse_program(
+            """
+.domains
+V 8
+H 8
+.relations
+assign (d : V0, s : V1)
+vP (v : V, h : H)
+.rules
+vP(v1, h) :- assign(v1, v2), vP(v2, h).
+"""
+        )
+        plan = compile_rule(prog, prog.rules[0], None)
+        refs = plan.phys_refs()
+        # H0 passes through untouched (no rename/projection), so only the
+        # V instances appear among the explicitly manipulated domains.
+        assert ("V", 0) in refs and ("V", 1) in refs

@@ -1,0 +1,175 @@
+"""Tests for exception modeling, null assignments, and class-initializer
+entry points."""
+
+import pytest
+
+from repro.analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+)
+from repro.ir import extract_facts, parse_program
+from repro.ir.facts import THROWN
+from repro.ir.program import NullAssign, Throw
+
+
+THROWING = """
+class AppError { }
+class ParseError extends AppError { }
+
+class Parser {
+    static method parse(o : Object) returns Object {
+        if (*) {
+            e = new ParseError;
+            throw e;
+        }
+        return o;
+    }
+}
+
+class Main {
+    static method main() {
+        o = new Object;
+        r = Parser.parse(o);
+    }
+}
+"""
+
+
+class TestExceptions:
+    def test_throw_parsed(self):
+        prog = parse_program(THROWING, include_library=False)
+        stmts = list(prog.cls("Parser").methods["parse"].statements())
+        assert any(isinstance(s, Throw) for s in stmts)
+
+    def test_thrown_channel_in_facts(self):
+        facts = extract_facts(parse_program(THROWING, include_library=False))
+        assert facts.relations["Mthr"]
+        assert any(THROWN in name for name in facts.maps["V"])
+
+    def test_no_channel_without_throws(self):
+        facts = extract_facts(
+            parse_program(
+                "class Main { static method main() { o = new Object; } }",
+                include_library=False,
+            )
+        )
+        assert facts.relations["Mthr"] == []
+        assert not any(THROWN in name for name in facts.maps["V"])
+
+    def test_exception_propagates_to_caller_ci(self):
+        prog = parse_program(THROWING, include_library=False)
+        result = ContextInsensitiveAnalysis(program=prog).run()
+        got = result.points_to("Main.main", THROWN)
+        assert got == {"Parser.parse@0:new ParseError"}
+
+    def test_exception_propagates_to_caller_cs(self):
+        prog = parse_program(THROWING, include_library=False)
+        result = ContextSensitiveAnalysis(program=prog).run()
+        got = result.points_to("Main.main", THROWN)
+        assert got == {"Parser.parse@0:new ParseError"}
+
+    def test_exception_contexts_separate(self):
+        source = """
+class Err { }
+class Lib {
+    static method may(tag : Object) returns Object {
+        if (*) {
+            e = new Err;
+            throw e;
+        }
+        return tag;
+    }
+}
+class Main {
+    static method a() returns Object {
+        o = new Object;
+        r = Lib.may(o);
+        return r;
+    }
+    static method main() {
+        x = Main.a();
+        o2 = new Object;
+        y = Lib.may(o2);
+    }
+}
+"""
+        prog = parse_program(source, include_library=False)
+        cs = ContextSensitiveAnalysis(program=prog).run()
+        # Both main and a receive the error through their channels.
+        assert cs.points_to("Main.main", THROWN) == {"Lib.may@0:new Err"}
+        assert cs.points_to("Main.a", THROWN) == {"Lib.may@0:new Err"}
+
+
+class TestNullAssign:
+    def test_parsed(self):
+        prog = parse_program(
+            """
+class Main {
+    static method main() {
+        o = new Object;
+        o = null;
+    }
+}
+""",
+            include_library=False,
+        )
+        stmts = prog.cls("Main").methods["main"].body
+        assert isinstance(stmts[1], NullAssign)
+
+    def test_null_is_ignored_by_analysis(self):
+        prog = parse_program(
+            """
+class Main {
+    static method main() {
+        o = new Object;
+        o = null;
+        p = o;
+    }
+}
+""",
+            include_library=False,
+        )
+        result = ContextInsensitiveAnalysis(program=prog).run()
+        # Null contributes nothing; p still sees the allocation.
+        assert result.points_to("Main.main", "p") == {"Main.main@0:new Object"}
+
+
+CLINIT = """
+class Config {
+    static field instance : Config;
+    static method clinit() {
+        c = new Config;
+        Config.instance = c;
+    }
+}
+class Main {
+    static method main() {
+        got = Config.instance;
+    }
+}
+"""
+
+
+class TestClassInitializers:
+    def test_entry_methods_include_clinit(self):
+        prog = parse_program(CLINIT, include_library=False)
+        names = [m.qualified for m in prog.entry_methods()]
+        assert names[0] == "Main.main"
+        assert "Config.clinit" in names
+
+    def test_clinit_effects_visible(self):
+        """Without treating clinit as an entry, Config.instance would be
+        empty; with it, main sees the initializer's allocation."""
+        prog = parse_program(CLINIT, include_library=False)
+        result = ContextInsensitiveAnalysis(program=prog).run()
+        assert result.points_to("Main.main", "got") == {
+            "Config.clinit@0:new Config"
+        }
+
+    def test_clinit_context_sensitive(self):
+        prog = parse_program(CLINIT, include_library=False)
+        result = ContextSensitiveAnalysis(program=prog).run()
+        assert result.points_to("Main.main", "got") == {
+            "Config.clinit@0:new Config"
+        }
+        assert result.num_contexts("Config.clinit") == 1

@@ -1,0 +1,370 @@
+"""Tests for the mini-Java parser and program model."""
+
+import pytest
+
+from repro.ir import (
+    Cast,
+    Copy,
+    If,
+    Invoke,
+    IRError,
+    Load,
+    New,
+    ParseError,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Sync,
+    While,
+    parse_classes,
+    parse_program,
+)
+
+
+SIMPLE = """
+class Main {
+    static method main() {
+        o = new Object;
+        p = o;
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_simple_program(self):
+        prog = parse_program(SIMPLE, include_library=False)
+        main = prog.cls("Main").methods["main"]
+        assert main.is_static
+        assert main.body == [New("o", "Object"), Copy("p", "o")]
+
+    def test_fields_and_types(self):
+        prog = parse_program(
+            """
+class Box {
+    field item : Object;
+    static field shared : Box;
+}
+class Main {
+    static method main() {
+        b = new Box;
+    }
+}
+""",
+            include_library=False,
+        )
+        box = prog.cls("Box")
+        assert box.fields["item"].type == "Object"
+        assert box.fields["shared"].is_static
+
+    def test_inheritance_and_interfaces(self):
+        prog = parse_program(
+            """
+interface Shape {
+    method area() returns Object;
+}
+class Circle implements Shape {
+    method area() returns Object {
+        r = new Object;
+        return r;
+    }
+}
+class Ellipse extends Circle {
+}
+class Main {
+    static method main() {
+        c = new Ellipse;
+    }
+}
+""",
+            include_library=False,
+        )
+        assert prog.cls("Ellipse").superclass == "Circle"
+        assert prog.cls("Circle").interfaces == ["Shape"]
+        assert prog.cls("Shape").is_interface
+
+    def test_statement_forms(self):
+        prog = parse_program(
+            """
+class A {
+    field f : Object;
+    method id(x : Object) returns Object {
+        return x;
+    }
+    static method mk() returns A {
+        a = new A;
+        return a;
+    }
+}
+class Main {
+    static field cache : Object;
+    static method main() {
+        var a : A;
+        a = A.mk();
+        o = new Object;
+        a.f = o;
+        b = a.f;
+        c = a.id(b);
+        d = (A) c;
+        Main.cache = d;
+        e = Main.cache;
+        sync a;
+    }
+}
+""",
+            include_library=False,
+        )
+        body = prog.cls("Main").methods["main"].body
+        kinds = [type(s).__name__ for s in body]
+        assert kinds == [
+            "Invoke", "New", "Store", "Load", "Invoke", "Cast",
+            "StaticStore", "StaticLoad", "Sync",
+        ]
+        call = body[0]
+        assert call.static_cls == "A" and call.dst == "a"
+        virt = body[4]
+        assert virt.base == "a" and virt.args == ("b",) and virt.dst == "c"
+
+    def test_control_flow(self):
+        prog = parse_program(
+            """
+class Main {
+    static method main() {
+        if (*) {
+            a = new Object;
+        } else {
+            b = new Object;
+        }
+        while (*) {
+            c = new Object;
+        }
+    }
+}
+""",
+            include_library=False,
+        )
+        body = prog.cls("Main").methods["main"].body
+        assert isinstance(body[0], If)
+        assert isinstance(body[0].then[0], New)
+        assert isinstance(body[0].els[0], New)
+        assert isinstance(body[1], While)
+
+    def test_this_receiver(self):
+        prog = parse_program(
+            """
+class A {
+    field f : Object;
+    method m() {
+        x = this.f;
+        this.f = x;
+        this.m();
+    }
+}
+class Main {
+    static method main() {
+        a = new A;
+        a.m();
+    }
+}
+""",
+            include_library=False,
+        )
+        body = prog.cls("A").methods["m"].body
+        assert body[0] == Load("x", "this", "f")
+        assert body[1] == Store("this", "f", "x")
+        assert body[2].base == "this"
+
+    def test_expression_statement_call(self):
+        prog = parse_program(
+            """
+class Main {
+    static method helper(x : Object) {
+    }
+    static method main() {
+        o = new Object;
+        Main.helper(o);
+    }
+}
+""",
+            include_library=False,
+        )
+        call = prog.cls("Main").methods["main"].body[1]
+        assert isinstance(call, Invoke)
+        assert call.dst is None and call.static_cls == "Main"
+
+    def test_library_linked_by_default(self):
+        prog = parse_program(SIMPLE)
+        assert "String" in prog.classes
+        assert "PBEKeySpec" in prog.classes
+        assert "HashMap" in prog.classes
+
+    def test_comments(self):
+        prog = parse_program(
+            """
+// a line comment
+class Main {
+    /* block
+       comment */
+    static method main() {
+        o = new Object;  // trailing
+    }
+}
+""",
+            include_library=False,
+        )
+        assert len(prog.cls("Main").methods["main"].body) == 1
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_classes("class Main {\n    field x\n}")
+        assert "line" in str(exc.value)
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(IRError):
+            parse_program("class A { }", include_library=False)
+
+    def test_instance_main_rejected(self):
+        with pytest.raises(IRError):
+            parse_program(
+                "class Main { method main() { } }", include_library=False
+            )
+
+
+class TestValidation:
+    def test_unknown_superclass(self):
+        with pytest.raises(IRError):
+            parse_program(
+                """
+class A extends Nope { }
+class Main { static method main() { } }
+""",
+                include_library=False,
+            )
+
+    def test_new_interface_rejected(self):
+        with pytest.raises(IRError):
+            parse_program(
+                """
+interface I { }
+class Main {
+    static method main() {
+        x = new I;
+    }
+}
+""",
+                include_library=False,
+            )
+
+    def test_unknown_static_target(self):
+        with pytest.raises(IRError):
+            parse_program(
+                """
+class Main {
+    static method main() {
+        x = Main.nosuch();
+    }
+}
+""",
+                include_library=False,
+            )
+
+    def test_inheritance_cycle(self):
+        from repro.ir import ClassDecl, Program
+
+        prog = Program()
+        prog.add_class(ClassDecl("A", superclass="B"))
+        prog.add_class(ClassDecl("B", superclass="A"))
+        with pytest.raises(IRError):
+            prog.validate()
+
+    def test_stats(self):
+        prog = parse_program(SIMPLE, include_library=False)
+        stats = prog.stats()
+        assert stats["classes"] == 3  # Object, Thread, Main
+        assert stats["allocs"] == 1
+        assert stats["statements"] == 2
+
+
+class TestHierarchy:
+    def make(self):
+        return parse_program(
+            """
+interface Shape {
+    method area() returns Object;
+}
+class Circle implements Shape {
+    method area() returns Object {
+        r = new Object;
+        return r;
+    }
+}
+class Ellipse extends Circle {
+    method area() returns Object {
+        r = new Object;
+        return r;
+    }
+}
+class Square implements Shape {
+    method area() returns Object {
+        r = new Object;
+        return r;
+    }
+}
+class Worker extends Thread {
+    method run() {
+        o = new Object;
+    }
+}
+class Main {
+    static method main() {
+        w = new Worker;
+        w.start();
+    }
+}
+""",
+            include_library=False,
+        )
+
+    def test_assignability(self):
+        from repro.ir import TypeHierarchy
+
+        h = TypeHierarchy(self.make())
+        assert h.is_assignable("Object", "Circle")
+        assert h.is_assignable("Shape", "Circle")
+        assert h.is_assignable("Shape", "Ellipse")
+        assert h.is_assignable("Circle", "Ellipse")
+        assert not h.is_assignable("Ellipse", "Circle")
+        assert not h.is_assignable("Square", "Circle")
+
+    def test_dispatch_override(self):
+        from repro.ir import TypeHierarchy
+
+        h = TypeHierarchy(self.make())
+        cha = {(t, n): m.qualified for t, n, m in h.dispatch_tuples()}
+        assert cha[("Circle", "area")] == "Circle.area"
+        assert cha[("Ellipse", "area")] == "Ellipse.area"
+        assert cha[("Square", "area")] == "Square.area"
+
+    def test_thread_start_dispatches_to_run(self):
+        from repro.ir import TypeHierarchy
+
+        h = TypeHierarchy(self.make())
+        cha = {(t, n): m.qualified for t, n, m in h.dispatch_tuples()}
+        assert cha[("Worker", "start")] == "Worker.run"
+
+    def test_thread_detection(self):
+        from repro.ir import TypeHierarchy
+
+        h = TypeHierarchy(self.make())
+        assert h.is_thread_type("Worker")
+        assert not h.is_thread_type("Circle")
+
+    def test_resolve_inherited(self):
+        from repro.ir import TypeHierarchy
+
+        prog = self.make()
+        h = TypeHierarchy(prog)
+        # Ellipse inherits nothing extra; Circle.area resolves on Ellipse
+        # only through the override.
+        assert h.resolve("Ellipse", "area").qualified == "Ellipse.area"

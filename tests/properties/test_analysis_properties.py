@@ -1,0 +1,96 @@
+"""Cross-analysis invariants on randomly generated programs.
+
+These check the paper's precision lattice on arbitrary workloads from the
+generator: every analysis is sound relative to the less precise ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    ContextInsensitiveAnalysis,
+    ContextSensitiveAnalysis,
+    ThreadEscapeAnalysis,
+)
+from repro.bench.generator import WorkloadParams, generate_program
+from repro.ir import extract_facts
+
+params_strategy = st.builds(
+    WorkloadParams,
+    seed=st.integers(0, 10_000),
+    layers=st.integers(3, 7),
+    width=st.integers(1, 3),
+    fanout=st.integers(1, 3),
+    hierarchy_groups=st.integers(1, 2),
+    subclasses=st.integers(1, 3),
+    recursion_cliques=st.integers(0, 2),
+    threads=st.integers(0, 2),
+    shared_chain=st.integers(0, 3),
+    use_library=st.booleans(),
+)
+
+
+@given(params_strategy)
+@settings(max_examples=12, deadline=None)
+def test_generated_programs_validate(params):
+    program = generate_program(params)
+    program.validate()
+    stats = program.stats()
+    assert stats["methods"] > 0 and stats["allocs"] > 0
+
+
+@given(params_strategy)
+@settings(max_examples=8, deadline=None)
+def test_precision_lattice(params):
+    """filtered CI ⊆ unfiltered CI, and projected CS ⊆ filtered CI."""
+    program = generate_program(params)
+    facts = extract_facts(program)
+    unfiltered = ContextInsensitiveAnalysis(
+        facts=facts, type_filtering=False, discover_call_graph=True
+    ).run()
+    filtered = ContextInsensitiveAnalysis(
+        facts=facts, type_filtering=True, discover_call_graph=True
+    ).run()
+    vp_unfiltered = set(unfiltered.relation("vP").tuples())
+    vp_filtered = set(filtered.relation("vP").tuples())
+    assert vp_filtered <= vp_unfiltered
+
+    cs = ContextSensitiveAnalysis(
+        facts=facts, call_graph=filtered.discovered_call_graph
+    ).run()
+    vp_projected = set(cs.vPC.project("variable", "heap").tuples())
+    assert vp_projected <= vp_filtered
+
+
+@given(params_strategy)
+@settings(max_examples=6, deadline=None)
+def test_allocation_sites_reach_their_variable(params):
+    """Base soundness: every reachable allocation flows at least to the
+    variable it is assigned to."""
+    program = generate_program(params)
+    facts = extract_facts(program)
+    result = ContextInsensitiveAnalysis(facts=facts).run()
+    vp = set(result.relation("vP").tuples())
+    reachable_methods = {
+        facts.maps["M"][m]
+        for m in result.discovered_call_graph.reachable_from(
+            [facts.method_id("Main.main")]
+        )
+    }
+    for v, h in facts.relations["vP0"]:
+        method = facts.maps["V"][v].rsplit(":", 1)[0]
+        if method in reachable_methods or facts.maps["V"][v] == "<global>":
+            assert (v, h) in vp
+
+
+@given(params_strategy)
+@settings(max_examples=6, deadline=None)
+def test_escape_global_always_escapes(params):
+    program = generate_program(params)
+    result = ThreadEscapeAnalysis(program=program).run()
+    escaped_names = {
+        result.facts.maps["H"][h] for h in result.escaped_heaps()
+    }
+    assert "<global>" in escaped_names
+    if params.threads == 0:
+        assert escaped_names == {"<global>"}

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+VULNERABLE = """
+class Main {
+    static method main() {
+        pw = new String;
+        chars = pw.toCharArray();
+        spec = new PBEKeySpec;
+        spec.init(chars);
+        var narrow : String;
+        o = new Object;
+        narrow = (String) o;
+        sync o;
+    }
+}
+"""
+
+CLEAN = """
+class Main {
+    static method main() {
+        a = new Object;
+        b = a;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def vulnerable_file(tmp_path):
+    path = tmp_path / "vuln.mj"
+    path.write_text(VULNERABLE)
+    return str(path)
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mj"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestStats:
+    def test_stats_output(self, clean_file, capsys):
+        assert main(["stats", clean_file, "--no-library"]) == 0
+        out = capsys.readouterr().out
+        assert "methods:" in out
+        assert "call paths:" in out
+
+
+class TestAnalyze:
+    def test_ci_analyze(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--no-library"]) == 0
+        out = capsys.readouterr().out
+        assert "context-insensitive points-to" in out
+
+    def test_cs_analyze_with_var(self, clean_file, capsys):
+        code = main(
+            [
+                "analyze",
+                clean_file,
+                "--no-library",
+                "--context-sensitive",
+                "--var",
+                "Main.main:a",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "context-sensitive points-to" in out
+        assert "new Object" in out
+
+    def test_bad_var_spec(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--no-library", "--var", "oops"]) == 2
+
+    def test_dump_dir(self, clean_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            ["analyze", clean_file, "--no-library", "--dump-dir", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "vP.tuples").exists()
+
+
+class TestQueries:
+    def test_escape_query(self, clean_file, capsys):
+        assert main(["query", clean_file, "--no-library", "--kind", "escape"]) == 0
+        out = capsys.readouterr().out
+        assert "escaped 1" in out  # just the global
+
+    def test_vuln_query_flags_bad_program(self, vulnerable_file, capsys):
+        assert main(["query", vulnerable_file, "--kind", "vuln"]) == 1
+        assert "VULNERABLE" in capsys.readouterr().out
+
+    def test_vuln_query_passes_clean_program(self, clean_file, capsys):
+        assert main(["query", clean_file, "--kind", "vuln"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_casts_query(self, vulnerable_file, capsys):
+        assert main(["query", vulnerable_file, "--kind", "casts"]) == 0
+        out = capsys.readouterr().out
+        assert "may fail" in out  # (String) o is not provably safe
+
+    def test_devirt_query(self, vulnerable_file, capsys):
+        assert main(["query", vulnerable_file, "--kind", "devirt"]) == 0
+        out = capsys.readouterr().out
+        assert "monomorphic" in out
+
+    def test_refinement_query(self, clean_file, capsys):
+        assert main(["query", clean_file, "--no-library", "--kind", "refinement"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-typed" in out
+        assert "context-sensitive (full)" in out

@@ -1,0 +1,42 @@
+"""Integration tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["Helper.get was cloned into 2 contexts"],
+    "path_numbering.py": ["M6: 6", "IEC as a BDD"],
+    "memory_leak.py": ["whoPointsTo", "Cache.slot"],
+    "security_audit.py": ["VULNERABLE", "clean"],
+    "escape_analysis.py": ["Escaped objects", "NEEDED"],
+    "type_refinement.py": ["context-sensitive, full"],
+    "webapp_audit.py": ["JCE VULNERABILITY", "by rule"],
+    "datalog_playground.py": ["dirty targets", "[fact]"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in EXPECTATIONS[script]:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS), (
+        "update EXPECTATIONS when adding examples"
+    )
