@@ -17,8 +17,23 @@ from ..datalog import Solver, parse_program
 from ..datalog.ast import ProgramAST
 from ..ir.facts import Facts, extract_facts
 from ..ir.program import Program
+from ..runtime import (
+    DegradationReport,
+    IterationLimitExceeded,
+    NodeBudgetExceeded,
+    ReproError,
+    ResourceBudget,
+    SolverTimeout,
+)
 
-__all__ = ["AnalysisError", "load_datalog_source", "make_solver", "AnalysisResult"]
+__all__ = [
+    "AnalysisError",
+    "load_datalog_source",
+    "make_solver",
+    "AnalysisResult",
+    "improved_order_spec",
+    "outcome_of",
+]
 
 _DATALOG_DIR = Path(__file__).parent / "datalog"
 
@@ -42,6 +57,7 @@ def make_solver(
     order_spec: Optional[str] = None,
     naive: bool = False,
     extra_text: str = "",
+    budget: Optional[ResourceBudget] = None,
 ) -> Solver:
     """Build a solver for ``source`` sized and named from ``facts``.
 
@@ -63,20 +79,76 @@ def make_solver(
     program = parse_program(source, domain_sizes=sizes)
     name_maps = {dom: facts.maps[dom] for dom in program.domains if dom in facts.maps}
     name_maps.setdefault("M", facts.maps["M"])
-    solver = Solver(program, order_spec=order_spec, name_maps=name_maps, naive=naive)
+    solver = Solver(
+        program,
+        order_spec=order_spec,
+        name_maps=name_maps,
+        naive=naive,
+        budget=budget,
+    )
     for decl in program.relations.values():
         if decl.is_input and decl.name in facts.relations:
             solver.add_tuples(decl.name, facts.relations[decl.name])
     return solver
 
 
+def outcome_of(err: ReproError) -> str:
+    """Map a budget fault to the ``Attempt.outcome`` vocabulary."""
+    if isinstance(err, SolverTimeout):
+        return "timeout"
+    if isinstance(err, NodeBudgetExceeded):
+        return "node_budget"
+    if isinstance(err, IterationLimitExceeded):
+        return "iteration_limit"
+    return "error"
+
+
+def improved_order_spec(solver: Solver, max_nodes: int = 2_000_000) -> str:
+    """One round of block sifting over the solver's live relations.
+
+    The groups of the solver's current order spec (interleaved domain
+    blocks like ``C0xC1``) move as units; the best permutation found
+    becomes the new spec.  Sifting rebuilds the relations once per
+    candidate position, so it is skipped (returning the current spec)
+    when the arena is too large for that to be worth it.
+    """
+    from ..bdd.reorder import sift_order
+
+    if solver.manager.node_count() > max_nodes:
+        return solver.order_spec
+    groups = solver.order_spec.split("_")
+    by_name = {dom.name: dom for dom in solver._pool.values()}
+    blocks: Dict[str, List[int]] = {}
+    for group in groups:
+        levels: List[int] = []
+        for member in group.split("x"):
+            levels.extend(by_name[member].levels)
+        blocks[group] = sorted(levels)
+    roots = [rel.node for rel in solver.relations.values()]
+    try:
+        best_order, _ = sift_order(
+            solver.manager, roots, blocks, groups, max_rounds=1
+        )
+    except Exception:
+        return solver.order_spec
+    return "_".join(best_order)
+
+
 @dataclass
 class AnalysisResult:
-    """Base result: the facts, the solver, and timing/memory statistics."""
+    """Base result: the facts, the solver, and timing/memory statistics.
+
+    ``degraded`` is set when a governed run could not complete the
+    requested analysis within its :class:`ResourceBudget` and a cheaper
+    configuration produced this answer; ``degradation`` then holds the
+    machine-readable ladder transcript.
+    """
 
     facts: Facts
     solver: Solver
     seconds: float = 0.0
+    degraded: bool = False
+    degradation: Optional[DegradationReport] = None
 
     @property
     def peak_nodes(self) -> int:

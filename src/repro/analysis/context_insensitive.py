@@ -129,6 +129,7 @@ class ContextInsensitiveAnalysis:
         naive: bool = False,
         query_fragments: Sequence[str] = (),
         extra_text: str = "",
+        budget=None,
     ) -> None:
         if facts is None:
             if program is None:
@@ -142,6 +143,7 @@ class ContextInsensitiveAnalysis:
         self.naive = naive
         self.query_fragments = tuple(query_fragments)
         self.extra_text = extra_text
+        self.budget = budget
 
     def algorithm_name(self) -> str:
         if self.discover_call_graph:
@@ -157,6 +159,7 @@ class ContextInsensitiveAnalysis:
             order_spec=self.order_spec,
             naive=self.naive,
             extra_text=self.extra_text,
+            budget=self.budget,
         )
         discovered = None
         if self.discover_call_graph:

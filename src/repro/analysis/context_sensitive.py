@@ -17,6 +17,8 @@ context-insensitive view (Figure 6's "projected" columns).
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -30,7 +32,23 @@ from ..callgraph import (
 )
 from ..ir.facts import Facts, extract_facts
 from ..ir.program import Program
-from .base import AnalysisError, AnalysisResult, load_datalog_source, make_solver
+from ..runtime import (
+    Attempt,
+    DegradationReport,
+    NodeBudgetExceeded,
+    ReproError,
+    ResourceBudget,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .base import (
+    AnalysisError,
+    AnalysisResult,
+    improved_order_spec,
+    load_datalog_source,
+    make_solver,
+    outcome_of,
+)
 from .context_insensitive import ContextInsensitiveAnalysis
 
 __all__ = ["ContextSensitiveAnalysis", "ContextSensitiveResult"]
@@ -93,6 +111,10 @@ class ContextSensitiveAnalysis:
         naive: bool = False,
         query_fragments: Sequence[str] = (),
         extra_text: str = "",
+        budget: Optional[ResourceBudget] = None,
+        checkpoint_dir: Optional[str] = None,
+        degrade: bool = True,
+        truncate_cap: int = 64,
     ) -> None:
         if facts is None:
             if program is None:
@@ -111,6 +133,10 @@ class ContextSensitiveAnalysis:
         self.naive = naive
         self.query_fragments = tuple(query_fragments)
         self.extra_text = extra_text
+        self.budget = budget
+        self.checkpoint_dir = checkpoint_dir
+        self.degrade = degrade
+        self.truncate_cap = truncate_cap
 
     # ------------------------------------------------------------------
 
@@ -124,32 +150,228 @@ class ContextSensitiveAnalysis:
         ).run()
         return ci.discovered_call_graph
 
-    def run(self) -> ContextSensitiveResult:
-        start = time.monotonic()
-        facts = self.facts
-        graph = self._obtain_call_graph()
-        entries = facts.entry_method_ids()
-        if self.context_policy == "1cfa":
-            numbering = number_call_graph_1cfa(graph, entries=entries)
-        else:
-            numbering = number_call_graph(
-                graph, entries=entries, cap=self.context_cap
-            )
-        c_size = numbering.context_domain_size()
+    def _number(self, graph: CallGraph, cap: Optional[int] = None) -> ContextNumbering:
+        entries = self.facts.entry_method_ids()
+        if cap is None and self.context_policy == "1cfa":
+            return number_call_graph_1cfa(graph, entries=entries)
+        use_cap = cap if cap is not None else self.context_cap
+        return number_call_graph(graph, entries=entries, cap=use_cap)
 
+    def _build_solver(
+        self,
+        numbering: ContextNumbering,
+        graph: CallGraph,
+        order_spec: Optional[str],
+        budget: Optional[ResourceBudget] = None,
+        install: bool = True,
+    ):
         source = load_datalog_source(self.algorithm, self.query_fragments)
         solver = make_solver(
-            facts,
+            self.facts,
             source,
-            size_overrides={"C": c_size},
-            order_spec=self.order_spec,
+            size_overrides={"C": numbering.context_domain_size()},
+            order_spec=order_spec,
             naive=self.naive,
             extra_text=self.extra_text,
+            budget=budget,
         )
-        self._install_numbering(solver, numbering, graph)
+        if install:
+            self._install_numbering(solver, numbering, graph)
+        return solver
+
+    def run(self) -> AnalysisResult:
+        """Run the analysis; with a budget attached, run *governed*.
+
+        An ungoverned run (no budget) behaves exactly as before: any
+        blowup runs to completion or the process dies with it.  A
+        governed run never escapes with a raw resource fault while a
+        cheaper sound configuration remains: it walks the degradation
+        ladder (full → reorder-and-resume → k-truncated contexts →
+        context-insensitive) and flags the result ``degraded=True`` with
+        a :class:`DegradationReport` when the first rung did not produce
+        the answer.  With ``degrade=False`` the budget is enforced but
+        faults propagate to the caller after the first attempt.
+        """
+        if self.budget is None or not self.degrade:
+            return self._run_once()
+        return self._run_governed()
+
+    def _run_once(self) -> ContextSensitiveResult:
+        start = time.monotonic()
+        graph = self._obtain_call_graph()
+        numbering = self._number(graph)
+        solver = self._build_solver(
+            numbering, graph, self.order_spec, budget=self.budget
+        )
         solver.solve()
         seconds = time.monotonic() - start
         return self._wrap_result(solver, numbering, graph, seconds)
+
+    def _run_governed(self) -> AnalysisResult:
+        budget = self.budget.start()
+        report = DegradationReport()
+        start = time.monotonic()
+
+        # Obtain the call graph.  When we discover it ourselves the
+        # context-insensitive baseline comes for free and doubles as the
+        # ladder's last rung.
+        ci_result = None
+        graph = self.call_graph
+        if graph is None:
+            if self.use_cha_graph:
+                graph = cha_call_graph(self.facts)
+            else:
+                ci_result = ContextInsensitiveAnalysis(
+                    facts=self.facts,
+                    type_filtering=True,
+                    discover_call_graph=True,
+                    budget=budget.share_deadline(),
+                ).run()
+                graph = ci_result.discovered_call_graph
+
+        ckpt_dir = self.checkpoint_dir
+        tmp_holder = None
+        if ckpt_dir is None:
+            tmp_holder = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            ckpt_dir = tmp_holder.name
+        try:
+            full_budget = budget.share_deadline(
+                node_budget=budget.node_budget,
+                max_iterations=budget.max_iterations,
+            )
+
+            # Rung 1: the requested analysis.
+            numbering = self._number(graph)
+            solver = self._build_solver(
+                numbering, graph, self.order_spec, budget=full_budget
+            )
+            t0 = time.monotonic()
+            try:
+                solver.solve()
+                report.record(
+                    Attempt("full", "ok", time.monotonic() - t0,
+                            solver.manager.peak_nodes)
+                )
+                report.final_mode = "full"
+                return self._wrap_result(
+                    solver, numbering, graph, time.monotonic() - start,
+                    degraded=False, report=report,
+                )
+            except ReproError as err:
+                report.record(
+                    Attempt("full", outcome_of(err), time.monotonic() - t0,
+                            solver.manager.peak_nodes, detail=str(err))
+                )
+                first_err = err
+
+            # Rung 2: retry-with-reorder.  Only worth it after a node
+            # blowup — sifting cannot buy back an expired deadline.
+            if isinstance(first_err, NodeBudgetExceeded) and not budget.expired():
+                path = pathlib.Path(ckpt_dir) / "context_sensitive.ckpt"
+                resume_from = max(first_err.completed_strata or 0, 0)
+                save_checkpoint(
+                    solver, path, next_stratum=resume_from,
+                    extra_meta={"reason": outcome_of(first_err)},
+                )
+                new_spec = improved_order_spec(solver)
+                del solver
+                retry = self._build_solver(
+                    numbering, graph, new_spec,
+                    budget=budget.share_deadline(
+                        node_budget=budget.node_budget,
+                        max_iterations=budget.max_iterations,
+                    ),
+                    install=False,
+                )
+                meta = load_checkpoint(retry, path)
+                t0 = time.monotonic()
+                try:
+                    retry.solve(start_stratum=meta.next_stratum)
+                    report.record(
+                        Attempt("reorder", "ok", time.monotonic() - t0,
+                                retry.manager.peak_nodes,
+                                detail=f"order={new_spec}")
+                    )
+                    report.degraded = True
+                    report.final_mode = "reorder"
+                    return self._wrap_result(
+                        retry, numbering, graph, time.monotonic() - start,
+                        degraded=True, report=report,
+                    )
+                except ReproError as err:
+                    report.record(
+                        Attempt("reorder", outcome_of(err),
+                                time.monotonic() - t0,
+                                retry.manager.peak_nodes, detail=str(err))
+                    )
+                    del retry
+
+            # Rung 3: k-truncated context numbering.
+            if not budget.expired():
+                trunc = self._number(graph, cap=self.truncate_cap)
+                tsolver = self._build_solver(
+                    trunc, graph, self.order_spec,
+                    budget=budget.share_deadline(
+                        node_budget=budget.node_budget,
+                        max_iterations=budget.max_iterations,
+                    ),
+                )
+                t0 = time.monotonic()
+                try:
+                    tsolver.solve()
+                    report.record(
+                        Attempt("truncated", "ok", time.monotonic() - t0,
+                                tsolver.manager.peak_nodes,
+                                detail=f"cap={self.truncate_cap}")
+                    )
+                    report.degraded = True
+                    report.final_mode = "truncated"
+                    return self._wrap_result(
+                        tsolver, trunc, graph, time.monotonic() - start,
+                        degraded=True, report=report,
+                    )
+                except ReproError as err:
+                    report.record(
+                        Attempt("truncated", outcome_of(err),
+                                time.monotonic() - t0,
+                                tsolver.manager.peak_nodes, detail=str(err))
+                    )
+                    del tsolver
+
+            # Rung 4: the context-insensitive answer — sound by
+            # construction, and already computed when we discovered the
+            # call graph ourselves.  Runs deadline-only: a node budget
+            # that defeated every context-sensitive rung must not also
+            # starve the fallback.
+            t0 = time.monotonic()
+            try:
+                if ci_result is None:
+                    ci_result = ContextInsensitiveAnalysis(
+                        facts=self.facts,
+                        type_filtering=True,
+                        discover_call_graph=True,
+                        budget=budget.share_deadline(),
+                    ).run()
+            except ReproError as err:
+                report.record(
+                    Attempt("context_insensitive", outcome_of(err),
+                            time.monotonic() - t0, 0, detail=str(err))
+                )
+                err.degradation = report
+                raise
+            report.record(
+                Attempt("context_insensitive", "ok",
+                        time.monotonic() - t0, ci_result.peak_nodes)
+            )
+            report.degraded = True
+            report.final_mode = "context_insensitive"
+            ci_result.degraded = True
+            ci_result.degradation = report
+            ci_result.seconds = time.monotonic() - start
+            return ci_result
+        finally:
+            if tmp_holder is not None:
+                tmp_holder.cleanup()
 
     def _install_numbering(
         self, solver, numbering: ContextNumbering, graph: CallGraph
@@ -180,11 +402,15 @@ class ContextSensitiveAnalysis:
         )
         solver.set_node("MC", mc_node)
 
-    def _wrap_result(self, solver, numbering, graph, seconds):
+    def _wrap_result(
+        self, solver, numbering, graph, seconds, degraded=False, report=None
+    ):
         return ContextSensitiveResult(
             facts=self.facts,
             solver=solver,
             seconds=seconds,
             numbering=numbering,
             call_graph=graph,
+            degraded=degraded,
+            degradation=report,
         )

@@ -132,6 +132,7 @@ class ThreadEscapeAnalysis:
         call_graph: Optional[CallGraph] = None,
         use_cha_graph: bool = False,
         order_spec: Optional[str] = None,
+        budget=None,
     ) -> None:
         if facts is None:
             if program is None:
@@ -141,6 +142,7 @@ class ThreadEscapeAnalysis:
         self.call_graph = call_graph
         self.use_cha_graph = use_cha_graph
         self.order_spec = order_spec
+        self.budget = budget
 
     # ------------------------------------------------------------------
 
@@ -263,6 +265,7 @@ class ThreadEscapeAnalysis:
             source,
             size_overrides={"C": c_size},
             order_spec=self.order_spec,
+            budget=self.budget,
         )
         solver.add_tuples("assign", assign)
         solver.add_tuples("HT", sorted(ht))

@@ -49,11 +49,15 @@ class ContextSensitiveTypeAnalysis(ContextSensitiveAnalysis):
 
     algorithm = "algorithm6"
 
-    def _wrap_result(self, solver, numbering, graph, seconds):
+    def _wrap_result(
+        self, solver, numbering, graph, seconds, degraded=False, report=None
+    ):
         return TypeAnalysisResult(
             facts=self.facts,
             solver=solver,
             seconds=seconds,
             numbering=numbering,
             call_graph=graph,
+            degraded=degraded,
+            degradation=report,
         )

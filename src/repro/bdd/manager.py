@@ -91,6 +91,13 @@ class BDD:
         self.peak_nodes = 2
         self.gc_count = 0
         self.op_count = 0
+        # Cooperative watchdog (see repro.runtime.budget): called every
+        # ``_watchdog_stride`` freshly allocated nodes from inside ``mk``,
+        # so runaway apply/rel_prod recursions are interrupted while they
+        # grow.  ``None`` keeps the hot path to a single attribute test.
+        self._watchdog: Optional[Callable[[], None]] = None
+        self._watchdog_stride = 2048
+        self._watchdog_tick = 0
 
     # ------------------------------------------------------------------
     # Node primitives
@@ -137,7 +144,28 @@ class BDD:
         self._unique[key] = node
         if node + 1 > self.peak_nodes:
             self.peak_nodes = node + 1
+        if self._watchdog is not None:
+            self._watchdog_tick += 1
+            if self._watchdog_tick >= self._watchdog_stride:
+                self._watchdog_tick = 0
+                self._watchdog()
         return node
+
+    def set_watchdog(self, callback: Callable[[], None], stride: int = 2048) -> None:
+        """Install a cooperative check run every ``stride`` new nodes.
+
+        The callback may raise to abort the in-flight operation; the arena
+        stays structurally consistent (nodes already interned survive, and
+        no operation cache entry is written for an aborted recursion).
+        """
+        if stride < 1:
+            raise BDDError("watchdog stride must be positive")
+        self._watchdog = callback
+        self._watchdog_stride = stride
+        self._watchdog_tick = 0
+
+    def clear_watchdog(self) -> None:
+        self._watchdog = None
 
     def var_bdd(self, var: int) -> int:
         """BDD for the single positive literal ``var``."""

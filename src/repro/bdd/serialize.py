@@ -10,31 +10,40 @@ The format is a line-oriented text file::
     root 3
     root 2
 
-Node ids are file-local; loading rebuilds through the target manager's
-unique table, so structure sharing (also *across* separately saved files
-loaded into one manager) is preserved.  Useful for checkpointing expensive
-relations — e.g. the ``IEC`` of a large call graph — between runs.
+Node ids are file-local; :func:`save_bdd` renumbers them canonically (2,
+3, ... in emission order), so two structurally identical BDDs saved under
+the same variable order produce byte-identical files — the property the
+checkpoint/resume machinery relies on.  Loading rebuilds through the
+target manager's unique table, so structure sharing (also *across*
+separately saved files loaded into one manager) is preserved.
+
+Loading is defensive: bad magic, malformed records, dangling node
+references, out-of-range levels, duplicate ids, and truncated files (the
+``roots`` header promises more roots than the file delivers) all raise
+:class:`BDDError` with the file name and line number.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .manager import BDD, BDDError, FALSE, TRUE
 
-__all__ = ["save_bdd", "load_bdd"]
+__all__ = ["save_bdd", "load_bdd", "dump_bdd_lines", "parse_bdd_lines"]
 
 PathLike = Union[str, pathlib.Path]
 
 _MAGIC = "# repro-bdd 1"
 
 
-def save_bdd(manager: BDD, roots: Sequence[int], path: PathLike) -> int:
-    """Write the BDDs rooted at ``roots`` to ``path``.
+def dump_bdd_lines(manager: BDD, roots: Sequence[int]) -> Tuple[List[str], int]:
+    """Serialize the BDDs rooted at ``roots`` to text lines.
 
-    Returns the number of (non-terminal) nodes written.  Shared subgraphs
-    are written once.
+    Returns ``(lines, node_count)``.  Node ids are canonical (assigned in
+    post-order emission sequence starting at 2), so the output depends
+    only on the BDD *structure*, never on manager handle values.  Shared
+    subgraphs are written once.
     """
     order: List[int] = []
     seen = {FALSE, TRUE}
@@ -52,60 +61,127 @@ def save_bdd(manager: BDD, roots: Sequence[int], path: PathLike) -> int:
             stack.append((node, True))
             stack.append((manager.high(node), False))
             stack.append((manager.low(node), False))
+    canon: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    for i, node in enumerate(order):
+        canon[node] = 2 + i
     lines = [_MAGIC, f"vars {manager.num_vars}", f"roots {len(roots)}"]
     for node in order:
         lines.append(
-            f"node {node} {manager.var_of(node)} "
-            f"{manager.low(node)} {manager.high(node)}"
+            f"node {canon[node]} {manager.var_of(node)} "
+            f"{canon[manager.low(node)]} {canon[manager.high(node)]}"
         )
     for root in roots:
-        lines.append(f"root {root}")
+        lines.append(f"root {canon[root]}")
+    return lines, len(order)
+
+
+def save_bdd(manager: BDD, roots: Sequence[int], path: PathLike) -> int:
+    """Write the BDDs rooted at ``roots`` to ``path``.
+
+    Returns the number of (non-terminal) nodes written.
+    """
+    lines, count = dump_bdd_lines(manager, roots)
     pathlib.Path(path).write_text("\n".join(lines) + "\n")
-    return len(order)
+    return count
+
+
+def parse_bdd_lines(
+    manager: BDD,
+    lines: Sequence[str],
+    name: str = "<bdd>",
+    first_lineno: int = 1,
+) -> List[int]:
+    """Rebuild saved BDDs from text lines; returns the root handles.
+
+    ``name`` labels diagnostics; ``first_lineno`` is the file line number
+    of ``lines[0]`` (checkpoints embed the payload mid-file).
+    """
+    if not lines or lines[0].strip() != _MAGIC:
+        raise BDDError(
+            f"{name}:{first_lineno}: not a repro-bdd file (bad or missing "
+            f"magic line, expected {_MAGIC!r})"
+        )
+    mapping: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    roots: List[int] = []
+    declared_vars: Optional[int] = None
+    declared_roots: Optional[int] = None
+    for offset, raw in enumerate(lines[1:], start=1):
+        lineno = first_lineno + offset
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            fields = [int(p) for p in parts[1:]]
+        except ValueError:
+            raise BDDError(
+                f"{name}:{lineno}: non-integer field in {kind!r} record"
+            )
+        if kind == "vars":
+            if len(fields) != 1:
+                raise BDDError(f"{name}:{lineno}: malformed vars line")
+            declared_vars = fields[0]
+            if declared_vars > manager.num_vars:
+                raise BDDError(
+                    f"{name}:{lineno}: file uses {declared_vars} variables, "
+                    f"manager has {manager.num_vars}"
+                )
+        elif kind == "roots":
+            if len(fields) != 1 or fields[0] < 0:
+                raise BDDError(f"{name}:{lineno}: malformed roots line")
+            declared_roots = fields[0]
+        elif kind == "node":
+            if len(fields) != 4:
+                raise BDDError(f"{name}:{lineno}: malformed node line")
+            node_id, level, low, high = fields
+            if node_id < 2:
+                raise BDDError(
+                    f"{name}:{lineno}: node id {node_id} collides with a "
+                    f"terminal"
+                )
+            if node_id in mapping:
+                raise BDDError(f"{name}:{lineno}: duplicate node id {node_id}")
+            limit = declared_vars if declared_vars is not None else manager.num_vars
+            if not 0 <= level < limit:
+                raise BDDError(
+                    f"{name}:{lineno}: node {node_id} has level {level} "
+                    f"outside 0..{limit - 1}"
+                )
+            if low not in mapping or high not in mapping:
+                raise BDDError(
+                    f"{name}:{lineno}: node {node_id} references unknown child "
+                    f"({low if low not in mapping else high})"
+                )
+            mapping[node_id] = manager.mk(level, mapping[low], mapping[high])
+        elif kind == "root":
+            if len(fields) != 1:
+                raise BDDError(f"{name}:{lineno}: malformed root line")
+            root_id = fields[0]
+            if root_id not in mapping:
+                raise BDDError(f"{name}:{lineno}: unknown root {root_id}")
+            roots.append(mapping[root_id])
+        else:
+            raise BDDError(f"{name}:{lineno}: unknown record {kind!r}")
+    if declared_vars is None:
+        raise BDDError(f"{name}: truncated file: missing 'vars' header")
+    if declared_roots is None:
+        raise BDDError(f"{name}: truncated file: missing 'roots' header")
+    if len(roots) != declared_roots:
+        raise BDDError(
+            f"{name}: truncated file: header promises {declared_roots} "
+            f"roots, found {len(roots)}"
+        )
+    return roots
 
 
 def load_bdd(manager: BDD, path: PathLike) -> List[int]:
     """Load a file written by :func:`save_bdd`; returns the root handles.
 
     The target manager must have at least as many variables as the saved
-    one (grow it with :meth:`BDD.add_vars` first if needed).
+    one (grow it with :meth:`BDD.add_vars` first if needed).  Corrupt
+    input — truncation, dangling references, bad magic — raises
+    :class:`BDDError` naming the offending line.
     """
     text = pathlib.Path(path).read_text()
-    lines = text.splitlines()
-    if not lines or lines[0].strip() != _MAGIC:
-        raise BDDError(f"{path}: not a repro-bdd file")
-    mapping: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
-    roots: List[int] = []
-    declared_vars = None
-    for lineno, line in enumerate(lines[1:], start=2):
-        line = line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        kind = parts[0]
-        if kind == "vars":
-            declared_vars = int(parts[1])
-            if declared_vars > manager.num_vars:
-                raise BDDError(
-                    f"{path}: file uses {declared_vars} variables, manager "
-                    f"has {manager.num_vars}"
-                )
-        elif kind == "roots":
-            continue
-        elif kind == "node":
-            if len(parts) != 5:
-                raise BDDError(f"{path}:{lineno}: malformed node line")
-            node_id, level, low, high = (int(p) for p in parts[1:])
-            if low not in mapping or high not in mapping:
-                raise BDDError(
-                    f"{path}:{lineno}: node {node_id} references unknown child"
-                )
-            mapping[node_id] = manager.mk(level, mapping[low], mapping[high])
-        elif kind == "root":
-            root_id = int(parts[1])
-            if root_id not in mapping:
-                raise BDDError(f"{path}:{lineno}: unknown root {root_id}")
-            roots.append(mapping[root_id])
-        else:
-            raise BDDError(f"{path}:{lineno}: unknown record {kind!r}")
-    return roots
+    return parse_bdd_lines(manager, text.splitlines(), name=str(path))

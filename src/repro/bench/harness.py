@@ -34,6 +34,7 @@ from ..analysis import (
 from ..analysis.queries import refinement_stats
 from ..callgraph import cha_call_graph, number_call_graph
 from ..ir.facts import extract_facts
+from ..runtime import ReproError, ResourceBudget
 from .corpus import CORPUS, corpus_entry, corpus_names
 from .generator import WorkloadParams, generate_program
 
@@ -72,45 +73,65 @@ class BenchmarkRun:
     alg7: Tuple[float, int]
     escape_summary: Dict[str, int]
     refinement: Dict[str, Tuple[float, float]]  # variant -> (multi%, refinable%)
+    degraded: List[str] = field(default_factory=list)
 
 
-def run_benchmark(name: str) -> BenchmarkRun:
+def run_benchmark(
+    name: str,
+    timeout: Optional[float] = None,
+    node_budget: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> BenchmarkRun:
     """Run every analysis of Figure 4 on one corpus entry.
 
     Each analysis result (and its BDD arena) is reduced to scalars and
     dropped before the next analysis starts — seven live solvers at once
     would multiply the peak memory for no benefit.
+
+    ``timeout``/``node_budget`` bound each analysis individually (each
+    gets a fresh :class:`ResourceBudget`).  A budgeted context-sensitive
+    analysis that cannot finish degrades instead of raising; the names of
+    degraded analyses are recorded in ``BenchmarkRun.degraded``.  Budget
+    faults from the context-insensitive analyses propagate as
+    :class:`ReproError` for the caller to handle.
     """
+
+    def budget() -> Optional[ResourceBudget]:
+        if timeout is None and node_budget is None:
+            return None
+        return ResourceBudget(timeout=timeout, node_budget=node_budget)
+
     entry = corpus_entry(name)
     program = entry.build()
     facts = extract_facts(program)
     cha = cha_call_graph(facts)
     refinement: Dict[str, Tuple[float, float]] = {}
+    degraded: List[str] = []
 
     alg1 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=False, discover_call_graph=False,
-        call_graph=cha,
+        call_graph=cha, budget=budget(),
     ).run()
     alg1_stats = (alg1.seconds, alg1.peak_nodes)
     del alg1
 
     alg2 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=False,
-        call_graph=cha,
+        call_graph=cha, budget=budget(),
     ).run()
     alg2_stats = (alg2.seconds, alg2.peak_nodes)
     del alg2, cha
 
     alg3_nofilter = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=False, discover_call_graph=True,
-        query_fragments=["query_refinement_ci"],
+        query_fragments=["query_refinement_ci"], budget=budget(),
     ).run()
     refinement["ci_nofilter"] = refinement_stats(alg3_nofilter, "ci").as_row()
     del alg3_nofilter
 
     alg3 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=True,
-        query_fragments=["query_refinement_ci"],
+        query_fragments=["query_refinement_ci"], budget=budget(),
     ).run()
     refinement["ci_filter"] = refinement_stats(alg3, "ci").as_row()
     alg3_stats = (alg3.seconds, alg3.peak_nodes)
@@ -118,26 +139,51 @@ def run_benchmark(name: str) -> BenchmarkRun:
     graph = alg3.discovered_call_graph
     del alg3
 
+    def fell_back_to_ci(result) -> bool:
+        report = result.degradation
+        return report is not None and report.final_mode == "context_insensitive"
+
     alg5 = ContextSensitiveAnalysis(
         facts=facts, call_graph=graph,
         query_fragments=["query_refinement_cs_pointer"],
+        budget=budget(), checkpoint_dir=checkpoint_dir,
     ).run()
-    refinement["cs_pointer_proj"] = refinement_stats(alg5, "projected").as_row()
-    refinement["cs_pointer_full"] = refinement_stats(alg5, "full").as_row()
+    if alg5.degraded:
+        degraded.append(f"alg5:{alg5.degradation.final_mode}")
+    if fell_back_to_ci(alg5):
+        # The fallback result has no context dimension, so its precision
+        # is by definition the context-insensitive row.
+        refinement["cs_pointer_proj"] = refinement["ci_filter"]
+        refinement["cs_pointer_full"] = refinement["ci_filter"]
+        paths = number_call_graph(
+            graph, entries=facts.entry_method_ids()
+        ).max_paths()
+    else:
+        refinement["cs_pointer_proj"] = refinement_stats(alg5, "projected").as_row()
+        refinement["cs_pointer_full"] = refinement_stats(alg5, "full").as_row()
+        paths = alg5.max_paths()
     alg5_stats = (alg5.seconds, alg5.peak_nodes)
-    paths = alg5.max_paths()
     del alg5
 
     alg6 = ContextSensitiveTypeAnalysis(
         facts=facts, call_graph=graph,
         query_fragments=["query_refinement_cs_type"],
+        budget=budget(), checkpoint_dir=checkpoint_dir,
     ).run()
-    refinement["cs_type_proj"] = refinement_stats(alg6, "projected").as_row()
-    refinement["cs_type_full"] = refinement_stats(alg6, "full").as_row()
+    if alg6.degraded:
+        degraded.append(f"alg6:{alg6.degradation.final_mode}")
+    if fell_back_to_ci(alg6):
+        refinement["cs_type_proj"] = refinement["ci_filter"]
+        refinement["cs_type_full"] = refinement["ci_filter"]
+    else:
+        refinement["cs_type_proj"] = refinement_stats(alg6, "projected").as_row()
+        refinement["cs_type_full"] = refinement_stats(alg6, "full").as_row()
     alg6_stats = (alg6.seconds, alg6.peak_nodes)
     del alg6
 
-    alg7 = ThreadEscapeAnalysis(facts=facts, call_graph=graph).run()
+    alg7 = ThreadEscapeAnalysis(
+        facts=facts, call_graph=graph, budget=budget()
+    ).run()
     alg7_stats = (alg7.seconds, alg7.peak_nodes)
     escape_summary = alg7.summary()
     del alg7
@@ -156,16 +202,42 @@ def run_benchmark(name: str) -> BenchmarkRun:
         alg7=alg7_stats,
         escape_summary=escape_summary,
         refinement=refinement,
+        degraded=degraded,
     )
 
 
-def run_corpus(small: bool = False, verbose: bool = True) -> List[BenchmarkRun]:
+def run_corpus(
+    small: bool = False,
+    verbose: bool = True,
+    timeout: Optional[float] = None,
+    node_budget: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> List[BenchmarkRun]:
+    """Benchmark the whole corpus; a budget-exhausted entry is skipped
+    (with a note) instead of aborting the remaining entries."""
     runs = []
     for name in corpus_names(small=small):
         start = time.monotonic()
-        runs.append(run_benchmark(name))
+        try:
+            run = run_benchmark(
+                name,
+                timeout=timeout,
+                node_budget=node_budget,
+                checkpoint_dir=checkpoint_dir,
+            )
+        except ReproError as err:
+            if verbose:
+                print(
+                    f"  [{name}: skipped, budget exhausted: {err}]", flush=True
+                )
+            continue
+        runs.append(run)
         if verbose:
-            print(f"  [{name}: {time.monotonic() - start:.1f}s]", flush=True)
+            note = f" degraded {','.join(run.degraded)}" if run.degraded else ""
+            print(
+                f"  [{name}: {time.monotonic() - start:.1f}s{note}]",
+                flush=True,
+            )
     return runs
 
 
@@ -545,7 +617,7 @@ def _run_with_shuffled_numbering(facts, graph) -> Tuple[float, int]:
 # ----------------------------------------------------------------------
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
     import pathlib
 
@@ -559,6 +631,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     )
     parser.add_argument("--small", action="store_true", help="fast subset")
     parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per analysis run",
+    )
+    parser.add_argument(
+        "--node-budget", type=int, metavar="N",
+        help="live BDD node budget per analysis run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="directory for mid-solve checkpoints of budgeted runs",
+    )
     args = parser.parse_args(argv)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -573,7 +657,15 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         f in figures for f in ("fig3", "fig4", "fig5", "fig6")
     ):
         print("Running corpus ...", flush=True)
-        runs = run_corpus(small=args.small)
+        runs = run_corpus(
+            small=args.small,
+            timeout=args.timeout,
+            node_budget=args.node_budget,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        if not runs:
+            print("no corpus entry finished within the budget")
+            return 75
     if args.figure == "report":
         from .report import build_report
 
@@ -585,7 +677,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         text = build_report(runs, extra_sections=extra)
         print(text)
         (out / "report.md").write_text(text)
-        return
+        return 0
     for figure in figures:
         if figure == "scaling":
             text, _ = scaling_table()
@@ -601,7 +693,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         print()
         print(text)
         (out / f"{figure}.txt").write_text(text + "\n")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

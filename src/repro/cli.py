@@ -4,15 +4,34 @@
 
     python -m repro stats    program.mj
     python -m repro analyze  program.mj --context-sensitive --var Main.main:x
+    python -m repro analyze  program.mj --context-sensitive --timeout 60 \
+                             --node-budget 2000000 --checkpoint-dir ckpt/
     python -m repro query    program.mj --kind escape
     python -m repro query    program.mj --kind vuln
     python -m repro query    program.mj --kind casts
     python -m repro query    program.mj --kind devirt
     python -m repro query    program.mj --kind refinement
+    python -m repro datalog  rules.dl --facts facts/ --out out/
 
 ``program.mj`` is mini-Java source (see :mod:`repro.ir.frontend`); the
 modeled class library is linked in unless ``--no-library`` is given.
 The benchmark harness has its own CLI: ``python -m repro.bench.harness``.
+
+Exit codes (sysexits.h-flavoured, stable for scripting):
+
+====  =============================================================
+0     success (for ``query --kind vuln``: no vulnerability)
+1     ``query --kind vuln`` found a vulnerable path
+2     usage error (argparse)
+65    malformed input — mini-Java source, Datalog program, fact
+      file, or checkpoint (one-line diagnostic with file and line)
+66    an input file or directory does not exist
+75    resource budget exhausted (timeout / node budget / iteration
+      cap) and degradation was disabled or also exhausted
+====  =============================================================
+
+Diagnostics are single lines on stderr; a raw traceback escaping this
+module is a bug (covered by ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -33,11 +52,50 @@ from .analysis.queries import (
     refinement_stats,
     security_vulnerability_query,
 )
+from .bdd import BDDError
 from .callgraph import number_call_graph
+from .datalog import DatalogError
 from .ir.facts import extract_facts
 from .ir.frontend import parse_program
+from .ir.program import IRError
+from .runtime import (
+    CheckpointError,
+    InvalidInputError,
+    ReproError,
+    ResourceBudget,
+)
 
-__all__ = ["main"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_VULNERABLE",
+    "EXIT_USAGE",
+    "EXIT_DATAERR",
+    "EXIT_NOINPUT",
+    "EXIT_BUDGET",
+]
+
+EXIT_OK = 0
+EXIT_VULNERABLE = 1
+EXIT_USAGE = 2
+EXIT_DATAERR = 65
+EXIT_NOINPUT = 66
+EXIT_BUDGET = 75
+
+
+def _budget_of(args) -> Optional[ResourceBudget]:
+    """A ResourceBudget from ``--timeout``/``--node-budget``/… or None."""
+    if (
+        getattr(args, "timeout", None) is None
+        and getattr(args, "node_budget", None) is None
+        and getattr(args, "max_iterations", None) is None
+    ):
+        return None
+    return ResourceBudget(
+        timeout=args.timeout,
+        node_budget=args.node_budget,
+        max_iterations=args.max_iterations,
+    )
 
 
 def _load(args) -> "tuple":
@@ -51,7 +109,7 @@ def _load(args) -> "tuple":
 def _cmd_stats(args) -> int:
     program, facts = _load(args)
     stats = program.stats()
-    ci = ContextInsensitiveAnalysis(facts=facts).run()
+    ci = ContextInsensitiveAnalysis(facts=facts, budget=_budget_of(args)).run()
     entry = facts.method_id(f"{args.main}.main")
     numbering = number_call_graph(ci.discovered_call_graph, entries=[entry])
     print(f"classes:     {stats['classes']}")
@@ -61,20 +119,40 @@ def _cmd_stats(args) -> int:
     print(f"alloc sites: {stats['allocs']}")
     print(f"call paths:  {numbering.max_paths()}")
     print(f"call edges:  {ci.discovered_call_graph.edge_count()}")
-    return 0
+    return EXIT_OK
+
+
+def _print_degradation(result) -> None:
+    if result.degraded and result.degradation is not None:
+        print(f"degraded: {result.degradation.summary()}", file=sys.stderr)
 
 
 def _cmd_analyze(args) -> int:
     program, facts = _load(args)
+    budget = _budget_of(args)
     if args.context_sensitive:
-        result = ContextSensitiveAnalysis(facts=facts).run()
-        print(
-            f"context-sensitive points-to: {result.max_paths()} call paths, "
-            f"{result.vPC.count()} (context, variable, heap) tuples, "
-            f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
-        )
+        result = ContextSensitiveAnalysis(
+            facts=facts,
+            budget=budget,
+            checkpoint_dir=args.checkpoint_dir,
+            degrade=not args.no_degrade,
+        ).run()
+        _print_degradation(result)
+        report = result.degradation
+        if report is not None and report.final_mode == "context_insensitive":
+            print(
+                f"context-insensitive points-to (degraded): "
+                f"{result.relation('vP').count()} (variable, heap) tuples, "
+                f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
+            )
+        else:
+            print(
+                f"context-sensitive points-to: {result.max_paths()} call paths, "
+                f"{result.vPC.count()} (context, variable, heap) tuples, "
+                f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
+            )
     else:
-        result = ContextInsensitiveAnalysis(facts=facts).run()
+        result = ContextInsensitiveAnalysis(facts=facts, budget=budget).run()
         print(
             f"context-insensitive points-to: "
             f"{result.relation('vP').count()} (variable, heap) tuples, "
@@ -84,7 +162,7 @@ def _cmd_analyze(args) -> int:
         method, _, var = spec.rpartition(":")
         if not method:
             print(f"  bad --var {spec!r}: use Method.name:var", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         targets = result.points_to(method, var)
         print(f"  {spec} ->")
         for heap in sorted(targets):
@@ -96,13 +174,14 @@ def _cmd_analyze(args) -> int:
 
         counts = save_solver_outputs(result.solver, args.dump_dir)
         print(f"wrote {sum(counts.values())} tuples to {args.dump_dir}/")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_query(args) -> int:
     program, facts = _load(args)
+    budget = _budget_of(args)
     if args.kind == "escape":
-        result = ThreadEscapeAnalysis(facts=facts).run()
+        result = ThreadEscapeAnalysis(facts=facts, budget=budget).run()
         summary = result.summary()
         print(
             f"captured {summary['captured']}, escaped {summary['escaped']}; "
@@ -111,19 +190,19 @@ def _cmd_query(args) -> int:
         )
         for h in sorted(result.escaped_heaps()):
             print(f"  escaped: {facts.maps['H'][h]}")
-        return 0
+        return EXIT_OK
     if args.kind == "casts":
         result = ContextInsensitiveAnalysis(
-            facts=facts, query_fragments=["query_casts"]
+            facts=facts, query_fragments=["query_casts"], budget=budget
         ).run()
         report = cast_safety(result)
         print(f"{len(report.safe)} safe casts, {len(report.failing)} may fail")
         for var in report.failing:
             print(f"  may fail: {var} (sees {', '.join(report.evidence[var])})")
-        return 0
+        return EXIT_OK
     if args.kind == "devirt":
         result = ContextInsensitiveAnalysis(
-            facts=facts, query_fragments=["query_devirt"]
+            facts=facts, query_fragments=["query_devirt"], budget=budget
         ).run()
         report = devirtualization(result)
         print(
@@ -133,15 +212,17 @@ def _cmd_query(args) -> int:
         )
         for site in report.mono:
             print(f"  devirtualizable: {site}")
-        return 0
+        return EXIT_OK
     if args.kind == "refinement":
         ci = ContextInsensitiveAnalysis(
-            facts=facts, query_fragments=["query_refinement_ci"]
+            facts=facts, query_fragments=["query_refinement_ci"], budget=budget
         ).run()
         cs = ContextSensitiveAnalysis(
             facts=facts,
             call_graph=ci.discovered_call_graph,
             query_fragments=["query_refinement_cs_pointer"],
+            budget=budget,
+            degrade=False,
         ).run()
         for label, stats in (
             ("context-insensitive", refinement_stats(ci, "ci")),
@@ -152,11 +233,14 @@ def _cmd_query(args) -> int:
                 f"{label:<32} multi-typed {stats.multi:5.1f}%  "
                 f"refinable {stats.refinable:5.1f}%"
             )
-        return 0
+        return EXIT_OK
     if args.kind == "vuln":
-        ci = ContextInsensitiveAnalysis(facts=facts).run()
+        ci = ContextInsensitiveAnalysis(facts=facts, budget=budget).run()
         cs = ContextSensitiveAnalysis(
-            facts=facts, call_graph=ci.discovered_call_graph
+            facts=facts,
+            call_graph=ci.discovered_call_graph,
+            budget=budget,
+            degrade=False,
         ).run()
         report = security_vulnerability_query(
             cs, list(ci.solver.relation("IE").tuples())
@@ -164,11 +248,48 @@ def _cmd_query(args) -> int:
         if report:
             for context, site in report.vulnerable_sites:
                 print(f"VULNERABLE (context {context}): {site}")
-            return 1
+            return EXIT_VULNERABLE
         print("clean: no String-derived key reaches PBEKeySpec.init")
-        return 0
+        return EXIT_OK
     print(f"unknown query kind {args.kind!r}", file=sys.stderr)
-    return 2
+    return EXIT_USAGE
+
+
+def _cmd_datalog(args) -> int:
+    """Run a raw Datalog program against ``.tuples`` fact files."""
+    from .datalog import Solver, parse_program as parse_datalog
+    from .datalog.io import load_solver_inputs, save_solver_outputs
+
+    source = pathlib.Path(args.program).read_text()
+    sizes = {}
+    for spec in args.domain or ():
+        name, _, size = spec.partition("=")
+        if not size.isdigit():
+            print(
+                f"  bad --domain {spec!r}: use NAME=SIZE", file=sys.stderr
+            )
+            return EXIT_USAGE
+        sizes[name] = int(size)
+    try:
+        program = parse_datalog(source, domain_sizes=sizes or None)
+    except DatalogError as err:
+        raise DatalogError(f"{args.program}: {err}") from err
+    solver = Solver(program, naive=args.naive, budget=_budget_of(args))
+    if args.facts:
+        if not pathlib.Path(args.facts).is_dir():
+            raise FileNotFoundError(2, "fact directory not found", args.facts)
+        counts = load_solver_inputs(solver, args.facts)
+        total = sum(counts.values())
+        print(f"loaded {total} tuples from {args.facts}/")
+    solver.solve()
+    for name in sorted(solver.relations):
+        decl = program.relations[name]
+        if decl.is_output:
+            print(f"{name}: {solver.relation(name).count()} tuples")
+    if args.out:
+        counts = save_solver_outputs(solver, args.out)
+        print(f"wrote {sum(counts.values())} tuples to {args.out}/")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,12 +299,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def budget_flags(p):
+        p.add_argument(
+            "--timeout", type=float, metavar="SECONDS",
+            help="wall-clock budget for the whole command",
+        )
+        p.add_argument(
+            "--node-budget", type=int, metavar="N",
+            help="maximum live BDD nodes before aborting or degrading",
+        )
+        p.add_argument(
+            "--max-iterations", type=int, metavar="N",
+            help="per-stratum fixpoint iteration cap",
+        )
+
     def common(p):
         p.add_argument("program", help="mini-Java source file")
         p.add_argument("--main", default="Main", help="entry class (default Main)")
         p.add_argument(
             "--no-library", action="store_true", help="do not link the class library"
         )
+        budget_flags(p)
 
     p_stats = sub.add_parser("stats", help="program vitals and call-path count")
     common(p_stats)
@@ -202,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--dump-dir", help="write output relations as .tuples files"
     )
+    p_analyze.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="directory for mid-solve checkpoints (budgeted runs)",
+    )
+    p_analyze.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail with exit code 75 instead of walking the degradation "
+        "ladder when the budget is exhausted",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_query = sub.add_parser("query", help="run a Section 5 style query")
@@ -212,12 +357,55 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["escape", "casts", "devirt", "refinement", "vuln"],
     )
     p_query.set_defaults(func=_cmd_query)
+
+    p_datalog = sub.add_parser(
+        "datalog", help="solve a raw Datalog program over .tuples files"
+    )
+    p_datalog.add_argument("program", help="Datalog source file (.dl)")
+    p_datalog.add_argument(
+        "--facts", metavar="DIR", help="directory of input .tuples files"
+    )
+    p_datalog.add_argument(
+        "--out", metavar="DIR", help="directory for output .tuples files"
+    )
+    p_datalog.add_argument(
+        "--domain", action="append", metavar="NAME=SIZE",
+        help="override a domain size (repeatable)",
+    )
+    p_datalog.add_argument(
+        "--naive", action="store_true", help="disable semi-naive evaluation"
+    )
+    budget_flags(p_datalog)
+    p_datalog.set_defaults(func=_cmd_datalog)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FileNotFoundError as err:
+        name = getattr(err, "filename", None) or err
+        print(f"repro: input not found: {name}", file=sys.stderr)
+        return EXIT_NOINPUT
+    except IsADirectoryError as err:
+        print(f"repro: not a file: {err.filename}", file=sys.stderr)
+        return EXIT_NOINPUT
+    except (InvalidInputError, CheckpointError) as err:
+        print(f"repro: invalid input: {err}", file=sys.stderr)
+        return EXIT_DATAERR
+    except (IRError, DatalogError, BDDError) as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return EXIT_DATAERR
+    except ReproError as err:
+        print(f"repro: budget exhausted: {err}", file=sys.stderr)
+        if err.completed_strata is not None:
+            print(
+                f"repro: completed {err.completed_strata} strata before "
+                f"the fault",
+                file=sys.stderr,
+            )
+        return EXIT_BUDGET
 
 
 if __name__ == "__main__":  # pragma: no cover

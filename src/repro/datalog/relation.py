@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..bdd import BDD, BDDError, Domain, FALSE, TRUE
+from ..runtime.errors import InvalidInputError
 
 __all__ = ["Attribute", "Relation"]
 
@@ -102,6 +103,15 @@ class Relation:
             )
         node = TRUE
         for attr, value in zip(self.attributes, values):
+            if not isinstance(value, int) or not 0 <= value < attr.phys.size:
+                raise InvalidInputError(
+                    f"relation {self.name}: value {value!r} for attribute "
+                    f"{attr.name!r} is outside domain {attr.logical} "
+                    f"(size {attr.phys.size})",
+                    predicate=self.name,
+                    attribute=attr.name,
+                    value=value,
+                )
             node = self.manager.and_(node, attr.phys.eq_const(value))
         return node
 

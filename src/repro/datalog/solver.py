@@ -22,6 +22,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from ..bdd import BDD, BDDError, Domain, FALSE, TRUE, bits_for
 from ..bdd.domain import equality_relation
 from ..bdd.ordering import assign_levels
+from ..runtime.budget import ResourceBudget, Watchdog
+from ..runtime.errors import IterationLimitExceeded, ReproError
 from .ast import DatalogError, NamedConst, NumberConst, ProgramAST, Term
 from .compiler import (
     AtomPrep,
@@ -81,9 +83,11 @@ class Solver:
         naive: bool = False,
         gc_threshold: int = 4_000_000,
         cache_limit: int = 2_000_000,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.program = program
         self.naive = naive
+        self.budget = budget
         self.gc_threshold = gc_threshold
         self.cache_limit = cache_limit
         self.name_maps: Dict[str, List[str]] = {
@@ -150,6 +154,12 @@ class Solver:
         for (rule_idx, _variant), plan in self._plans.items():
             self._rule_of_plan[id(plan)] = rule_idx
         self._solved = False
+        self._watchdog: Optional[Watchdog] = None
+        # Resume bookkeeping: index of the last stratum that reached
+        # fixpoint, and the one executing when a budget fault fired.
+        self.last_completed_stratum = -1
+        self._current_stratum: Optional[Stratum] = None
+        self._current_stratum_index: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -253,31 +263,83 @@ class Solver:
     # Evaluation
     # ------------------------------------------------------------------
 
-    def solve(self) -> SolveStats:
-        """Run the program to fixpoint; returns evaluation statistics."""
+    def solve(self, start_stratum: int = 0) -> SolveStats:
+        """Run the program to fixpoint; returns evaluation statistics.
+
+        ``start_stratum`` skips strata that are already at fixpoint — used
+        when resuming from a checkpoint (semi-naive evaluation restarts
+        the interrupted stratum with full deltas, which is sound because
+        relations only grow toward the fixpoint).
+
+        When a :class:`ResourceBudget` is attached, budget faults surface
+        as :class:`ReproError` subclasses carrying the partial statistics
+        and the stratum that was executing.
+        """
         start = time.monotonic()
         strata = stratify(self.program)
         self.stats.strata = len(strata)
         rule_index = {id(rule): i for i, rule in enumerate(self.program.rules)}
-        for stratum in strata:
-            if not stratum.rules:
-                continue
-            recursive = set(map(id, stratum.recursive_rules))
-            once_rules = [r for r in stratum.rules if id(r) not in recursive]
-            # Rules with no recursive dependency run exactly once.
-            for rule in once_rules:
-                plan = self._plans[(rule_index[id(rule)], None)]
-                self._apply_plan(plan, None, stratum)
-            if not stratum.recursive_rules:
-                continue
-            if self.naive:
-                self._solve_stratum_naive(stratum, rule_index)
-            else:
-                self._solve_stratum_seminaive(stratum, rule_index)
+        self.last_completed_stratum = start_stratum - 1
+        if self.budget is not None:
+            self._watchdog = Watchdog(self.budget, self.manager)
+            self.manager.set_watchdog(
+                self._watchdog.check, stride=self._watchdog.stride
+            )
+        try:
+            for index, stratum in enumerate(strata):
+                if index < start_stratum:
+                    continue
+                self._current_stratum = stratum
+                self._current_stratum_index = index
+                if stratum.rules:
+                    recursive = set(map(id, stratum.recursive_rules))
+                    once_rules = [
+                        r for r in stratum.rules if id(r) not in recursive
+                    ]
+                    # Rules with no recursive dependency run exactly once.
+                    for rule in once_rules:
+                        plan = self._plans[(rule_index[id(rule)], None)]
+                        self._apply_plan(plan, None, stratum)
+                    if stratum.recursive_rules:
+                        if self.naive:
+                            self._solve_stratum_naive(stratum, rule_index)
+                        else:
+                            self._solve_stratum_seminaive(stratum, rule_index)
+                self.last_completed_stratum = index
+        except ReproError as err:
+            self.stats.seconds = time.monotonic() - start
+            self.stats.peak_nodes = self.manager.peak_nodes
+            if err.stats is None:
+                err.stats = self.stats
+            if err.completed_strata is None:
+                err.completed_strata = self.last_completed_stratum + 1
+            if err.stratum is None and self._current_stratum is not None:
+                err.stratum = sorted(self._current_stratum.predicates)
+            raise
+        finally:
+            self.manager.clear_watchdog()
+            self._watchdog = None
+            self._current_stratum = None
+            self._current_stratum_index = None
         self.stats.seconds = time.monotonic() - start
         self.stats.peak_nodes = self.manager.peak_nodes
         self._solved = True
         return self.stats
+
+    def _iteration_limit(self) -> int:
+        if self.budget is not None and self.budget.max_iterations is not None:
+            return self.budget.max_iterations
+        return _MAX_ITERATIONS
+
+    def _iteration_limit_error(self, stratum: Stratum, limit: int) -> IterationLimitExceeded:
+        rules = [str(rule) for rule in stratum.recursive_rules]
+        return IterationLimitExceeded(
+            f"stratum {sorted(stratum.predicates)} did not converge within "
+            f"{limit} iterations (rules: {'; '.join(rules)})",
+            iterations=limit,
+            rules=rules,
+            stratum=sorted(stratum.predicates),
+        )
 
     def _solve_stratum_seminaive(
         self, stratum: Stratum, rule_index: Dict[int, int]
@@ -286,8 +348,11 @@ class Solver:
         deltas: Dict[str, int] = {}
         for pred in stratum.predicates:
             deltas[pred] = self.relations[pred].node
-        for iteration in range(_MAX_ITERATIONS):
+        limit = self._iteration_limit()
+        for iteration in range(limit):
             self.stats.iterations += 1
+            if self._watchdog is not None:
+                self._watchdog.check()
             contributions: Dict[str, int] = {p: FALSE for p in stratum.predicates}
             for rule in stratum.recursive_rules:
                 ridx = rule_index[id(rule)]
@@ -320,15 +385,15 @@ class Solver:
                 # lost memoization is recomputed cheaply against the
                 # (small) deltas of later iterations.
                 self.manager.clear_caches()
-        raise DatalogError(
-            f"stratum {sorted(stratum.predicates)} did not converge within "
-            f"{_MAX_ITERATIONS} iterations"
-        )
+        raise self._iteration_limit_error(stratum, limit)
 
     def _solve_stratum_naive(self, stratum: Stratum, rule_index: Dict[int, int]) -> None:
         """Reference evaluation without incrementalization (ablation)."""
-        for iteration in range(_MAX_ITERATIONS):
+        limit = self._iteration_limit()
+        for iteration in range(limit):
             self.stats.iterations += 1
+            if self._watchdog is not None:
+                self._watchdog.check()
             progressed = False
             for rule in stratum.recursive_rules:
                 plan = self._plans[(rule_index[id(rule)], None)]
@@ -337,10 +402,7 @@ class Solver:
                     progressed = True
             if not progressed:
                 return
-        raise DatalogError(
-            f"stratum {sorted(stratum.predicates)} did not converge within "
-            f"{_MAX_ITERATIONS} iterations"
-        )
+        raise self._iteration_limit_error(stratum, limit)
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -361,6 +423,8 @@ class Solver:
         updated and the delta returned.
         """
         self.stats.rule_applications += 1
+        if self._watchdog is not None:
+            self._watchdog.check()
         profile = self._profiles[self._rule_of_plan[id(plan)]]
         profile.applications += 1
         apply_start = time.monotonic()

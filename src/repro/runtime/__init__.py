@@ -1,0 +1,53 @@
+"""Resource-governed solver runtime.
+
+The paper's system can blow up under a bad variable order or an unlucky
+context numbering; Whaley & Lam report runs that exhaust memory or wall
+clock.  This package makes such blowups *recoverable* instead of fatal:
+
+* :mod:`repro.runtime.errors` — the structured :class:`ReproError`
+  exception hierarchy, every member carrying partial solve statistics and
+  the last-completed stratum,
+* :mod:`repro.runtime.budget` — :class:`ResourceBudget` (wall-clock
+  deadline, BDD node-count budget, fixpoint-iteration cap) and the
+  cooperative :class:`Watchdog` checked inside the BDD kernel's ``mk``
+  hot path and the solver's stratum loop,
+* :mod:`repro.runtime.checkpoint` — atomic snapshot/restore of *all*
+  solver relations plus domain metadata (checkpoint format v2), with
+  corruption detection on load and order-independent restore,
+* :mod:`repro.runtime.degrade` — the machine-readable
+  :class:`DegradationReport` describing which rung of the degradation
+  ladder (full → reordered → k-truncated → context-insensitive) produced
+  the final answer.
+"""
+
+from .budget import ResourceBudget, Watchdog
+from .checkpoint import (
+    CheckpointMeta,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .degrade import Attempt, DegradationReport
+from .errors import (
+    CheckpointError,
+    InvalidInputError,
+    IterationLimitExceeded,
+    NodeBudgetExceeded,
+    ReproError,
+    SolverTimeout,
+)
+
+__all__ = [
+    "Attempt",
+    "CheckpointError",
+    "CheckpointMeta",
+    "DegradationReport",
+    "InvalidInputError",
+    "IterationLimitExceeded",
+    "NodeBudgetExceeded",
+    "ReproError",
+    "ResourceBudget",
+    "SolverTimeout",
+    "Watchdog",
+    "load_checkpoint",
+    "save_checkpoint",
+]

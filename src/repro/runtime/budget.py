@@ -1,0 +1,124 @@
+"""Resource budgets and the cooperative watchdog.
+
+A :class:`ResourceBudget` bounds one *logical* analysis request, possibly
+spanning several solver attempts (the degradation ladder shares a single
+wall-clock deadline across its rungs).  The :class:`Watchdog` binds a
+budget to one BDD manager and is checked from two places:
+
+* the BDD kernel's ``mk`` hot path, every ``stride`` freshly allocated
+  nodes (so runaway ``rel_prod``/``apply`` recursions are caught while
+  they grow, not after), and
+* the solver's stratum loop, once per rule application and fixpoint
+  iteration (so cache-hit-heavy phases that allocate nothing still
+  observe the deadline).
+
+Checks are deliberately cheap — an integer compare on the arena length
+and one ``time.monotonic()`` call — so a stride of a few thousand nodes
+keeps the overhead well under 1%.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import NodeBudgetExceeded, SolverTimeout
+
+__all__ = ["ResourceBudget", "Watchdog"]
+
+
+@dataclass
+class ResourceBudget:
+    """Limits for one analysis request.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock seconds for the whole request.  The deadline is fixed
+        when :meth:`start` first runs; later solver attempts under the
+        same budget inherit the *remaining* time, not a fresh allowance.
+    node_budget:
+        Maximum number of live nodes in the BDD arena.  Exceeding it
+        raises :class:`NodeBudgetExceeded`; detection lags by at most the
+        watchdog stride.
+    max_iterations:
+        Per-stratum fixpoint iteration cap (defaults to the solver's
+        built-in safety limit when ``None``).
+    """
+
+    timeout: Optional[float] = None
+    node_budget: Optional[int] = None
+    max_iterations: Optional[int] = None
+    deadline: Optional[float] = field(default=None, init=False, repr=False)
+
+    def start(self) -> "ResourceBudget":
+        """Fix the wall-clock deadline (idempotent); returns self."""
+        if self.deadline is None and self.timeout is not None:
+            self.deadline = time.monotonic() + self.timeout
+        return self
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def share_deadline(
+        self,
+        node_budget: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> "ResourceBudget":
+        """A budget enforcing the *same* wall-clock deadline with
+        different node/iteration limits.
+
+        The degradation ladder uses this: every rung races the one
+        deadline fixed when the request started, but later rungs drop the
+        node budget so the sound fallback can actually finish.
+        """
+        self.start()
+        child = ResourceBudget(
+            timeout=self.timeout,
+            node_budget=node_budget,
+            max_iterations=max_iterations,
+        )
+        child.deadline = self.deadline
+        return child
+
+
+class Watchdog:
+    """Cooperative budget enforcement bound to one BDD manager."""
+
+    __slots__ = ("budget", "manager", "stride")
+
+    def __init__(self, budget: ResourceBudget, manager) -> None:
+        budget.start()
+        self.budget = budget
+        self.manager = manager
+        # With a tiny node budget a coarse stride would overshoot it by a
+        # large factor before the first check; scale the stride down.
+        stride = 2048
+        if budget.node_budget is not None:
+            stride = max(64, min(stride, budget.node_budget // 8))
+        self.stride = stride
+
+    def check(self) -> None:
+        """Raise if any budget dimension is exhausted."""
+        budget = self.budget
+        if budget.node_budget is not None:
+            count = self.manager.node_count()
+            if count > budget.node_budget:
+                raise NodeBudgetExceeded(
+                    f"BDD arena holds {count} nodes, budget is "
+                    f"{budget.node_budget}",
+                    node_count=count,
+                    budget=budget.node_budget,
+                )
+        if budget.deadline is not None and time.monotonic() > budget.deadline:
+            raise SolverTimeout(
+                f"wall-clock budget of {budget.timeout:.3f}s exhausted"
+            )

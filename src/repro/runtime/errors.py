@@ -1,0 +1,110 @@
+"""Structured exception hierarchy for the governed runtime.
+
+Every :class:`ReproError` can carry the partial :class:`SolveStats` of the
+interrupted run, the predicates of the stratum that was executing, and the
+number of strata that had already reached fixpoint — enough for a driver
+to checkpoint, retry under a different configuration, or degrade to a
+cheaper analysis without re-deriving what was already computed.
+
+This module deliberately imports nothing from the solver or BDD layers so
+that both can raise these exceptions without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = [
+    "ReproError",
+    "SolverTimeout",
+    "NodeBudgetExceeded",
+    "IterationLimitExceeded",
+    "InvalidInputError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base of all governed-runtime failures.
+
+    Attributes
+    ----------
+    stats:
+        Partial ``SolveStats`` of the interrupted solve (``None`` when the
+        failure happened outside a solve).
+    stratum:
+        Sorted predicate names of the stratum that was executing.
+    completed_strata:
+        Number of strata that had fully reached fixpoint before the
+        interruption; resuming from this index is always sound because
+        relations only grow monotonically toward the fixpoint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stats: Any = None,
+        stratum: Optional[Sequence[str]] = None,
+        completed_strata: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stats = stats
+        self.stratum = list(stratum) if stratum is not None else None
+        self.completed_strata = completed_strata
+
+
+class SolverTimeout(ReproError):
+    """The wall-clock deadline of a :class:`ResourceBudget` expired."""
+
+
+class NodeBudgetExceeded(ReproError):
+    """The BDD arena grew past the budget's node count."""
+
+    def __init__(self, message: str, *, node_count: int = 0, budget: int = 0, **kw) -> None:
+        super().__init__(message, **kw)
+        self.node_count = node_count
+        self.budget = budget
+
+
+class IterationLimitExceeded(ReproError):
+    """A stratum did not converge within the fixpoint-iteration cap."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int = 0,
+        rules: Optional[Sequence[str]] = None,
+        **kw,
+    ) -> None:
+        super().__init__(message, **kw)
+        self.iterations = iterations
+        self.rules: List[str] = list(rules or ())
+
+
+class InvalidInputError(ReproError):
+    """A tuple value lies outside its declared domain.
+
+    Carries the predicate, attribute, and offending value so callers can
+    point at the exact bad fact instead of silently truncating it into the
+    bit encoding (or surfacing a generic kernel error).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        predicate: Optional[str] = None,
+        attribute: Optional[str] = None,
+        value: Any = None,
+        **kw,
+    ) -> None:
+        super().__init__(message, **kw)
+        self.predicate = predicate
+        self.attribute = attribute
+        self.value = value
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, truncated, or schema-incompatible."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bdd import BDD, BDDError
-from repro.bdd.serialize import load_bdd, save_bdd
+from repro.bdd.serialize import dump_bdd_lines, load_bdd, save_bdd
 
 
 def eval_bdd(mgr, u, mask):
@@ -70,6 +70,138 @@ class TestSerialize:
         path.write_text("not a bdd\n")
         with pytest.raises(BDDError):
             load_bdd(BDD(num_vars=2), path)
+
+    def test_canonical_ids_make_saves_byte_identical(self, tmp_path):
+        """Two managers holding the same function under different handle
+        histories serialize to byte-identical files."""
+        a = BDD(num_vars=6)
+        fa = a.and_(a.var_bdd(1), a.or_(a.var_bdd(3), a.var_bdd(5)))
+        b = BDD(num_vars=6)
+        # Build extra garbage first so handle values differ.
+        for v in range(6):
+            b.xor(b.var_bdd(v), b.var_bdd((v + 1) % 6))
+        fb = b.and_(b.var_bdd(1), b.or_(b.var_bdd(3), b.var_bdd(5)))
+        pa, pb = tmp_path / "a.bdd", tmp_path / "b.bdd"
+        save_bdd(a, [fa], pa)
+        save_bdd(b, [fb], pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_dump_lines_children_precede_parents(self):
+        mgr = BDD(num_vars=4)
+        f = mgr.and_(mgr.var_bdd(0), mgr.or_(mgr.var_bdd(1), mgr.var_bdd(3)))
+        lines, count = dump_bdd_lines(mgr, [f])
+        seen = {0, 1}
+        for line in lines:
+            if line.startswith("node "):
+                node_id, _, low, high = map(int, line.split()[1:])
+                assert low in seen and high in seen
+                seen.add(node_id)
+        assert count == len(seen) - 2
+
+
+class TestCorruptInput:
+    def saved(self, tmp_path):
+        mgr = BDD(num_vars=4)
+        f = mgr.and_(mgr.var_bdd(0), mgr.or_(mgr.var_bdd(1), mgr.var_bdd(3)))
+        path = tmp_path / "f.bdd"
+        save_bdd(mgr, [f], path)
+        return path
+
+    def reload(self, path):
+        return load_bdd(BDD(num_vars=4), path)
+
+    def edit(self, path, old, new):
+        path.write_text(path.read_text().replace(old, new, 1))
+
+    def test_truncated_roots(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("root ")]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match="promises 1 roots, found 0"):
+            self.reload(path)
+
+    def test_missing_vars_header(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("vars")]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match="missing 'vars' header"):
+            self.reload(path)
+
+    def test_dangling_child_named_with_line(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = path.read_text().splitlines()
+        idx = next(i for i, l in enumerate(lines) if l.startswith("node"))
+        parts = lines[idx].split()
+        parts[3] = "777"
+        lines[idx] = " ".join(parts)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match=rf":{idx + 1}:.*unknown child \(777\)"):
+            self.reload(path)
+
+    def test_unknown_root_rejected(self, tmp_path):
+        path = self.saved(tmp_path)
+        self.edit(path, "root ", "root 555 # was: ")
+        with pytest.raises(BDDError, match="unknown root 555"):
+            self.reload(path)
+
+    def test_non_integer_field(self, tmp_path):
+        path = self.saved(tmp_path)
+        self.edit(path, "vars 4", "vars four")
+        with pytest.raises(BDDError, match="non-integer field"):
+            self.reload(path)
+
+    def test_level_out_of_declared_range(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = path.read_text().splitlines()
+        idx = next(i for i, l in enumerate(lines) if l.startswith("node"))
+        parts = lines[idx].split()
+        parts[2] = "9"
+        lines[idx] = " ".join(parts)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match="level 9 outside 0..3"):
+            self.reload(path)
+
+    def test_duplicate_node_id(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = path.read_text().splitlines()
+        idx = next(i for i, l in enumerate(lines) if l.startswith("node"))
+        lines.insert(idx + 1, lines[idx])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match="duplicate node id"):
+            self.reload(path)
+
+    def test_terminal_id_collision(self, tmp_path):
+        path = self.saved(tmp_path)
+        lines = path.read_text().splitlines()
+        idx = next(i for i, l in enumerate(lines) if l.startswith("node"))
+        parts = lines[idx].split()
+        parts[1] = "1"
+        lines[idx] = " ".join(parts)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError, match="collides with a terminal"):
+            self.reload(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = self.saved(tmp_path)
+        self.edit(path, "roots 1", "roots 1\nblob 1 2 3")
+        with pytest.raises(BDDError, match="unknown record 'blob'"):
+            self.reload(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bdd"
+        path.write_text("")
+        with pytest.raises(BDDError, match="bad or missing"):
+            self.reload(path)
+
+    def test_corruption_never_partially_loads_roots(self, tmp_path):
+        """A file that fails validation returns no roots at all rather
+        than a half-rebuilt list."""
+        path = self.saved(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.append("root 9999")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(BDDError):
+            self.reload(path)
 
     def test_relation_checkpoint(self, tmp_path):
         """Checkpoint a solved relation and reload it in a fresh solver."""

@@ -114,3 +114,147 @@ class TestQueries:
         out = capsys.readouterr().out
         assert "multi-typed" in out
         assert "context-sensitive (full)" in out
+
+
+DATALOG_TC = """\
+.domains
+N 8
+.relations
+edge(a : N0, b : N1) input
+path(a : N0, b : N1) output
+.rules
+path(a, b) :- edge(a, b).
+path(a, c) :- path(a, b), edge(b, c).
+"""
+
+
+@pytest.fixture()
+def datalog_setup(tmp_path):
+    dl = tmp_path / "tc.dl"
+    dl.write_text(DATALOG_TC)
+    facts = tmp_path / "facts"
+    facts.mkdir()
+    (facts / "edge.tuples").write_text("0 1\n1 2\n2 3\n")
+    return dl, facts
+
+
+class TestErrorReporting:
+    """Malformed input gives a one-line diagnostic and a distinct exit
+    code — never a raw traceback."""
+
+    def test_missing_program_file_exit_66(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.mj")]) == 66
+        err = capsys.readouterr().err
+        assert "input not found" in err
+        assert "Traceback" not in err
+
+    def test_malformed_source_exit_65(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mj"
+        bad.write_text("class Main { static method main() { a = ; } }")
+        assert main(["analyze", str(bad), "--no-library"]) == 65
+        err = capsys.readouterr().err
+        assert "line 1" in err
+        assert "Traceback" not in err
+
+    def test_usage_error_exit_2(self, clean_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["query", clean_file, "--kind", "nonsense"])
+        assert exc.value.code == 2
+
+    def test_malformed_datalog_exit_65(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text(".domains\nN 8\n.relations\npath(a : N0, b : N1 output\n")
+        assert main(["datalog", str(bad)]) == 65
+        err = capsys.readouterr().err
+        assert "bad.dl" in err and "line 4" in err
+        assert "Traceback" not in err
+
+    def test_malformed_fact_file_exit_65(self, tmp_path, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        (facts / "edge.tuples").write_text("0 1\nbroken line\n")
+        assert main(["datalog", str(dl), "--facts", str(facts)]) == 65
+        err = capsys.readouterr().err
+        assert "edge.tuples:2" in err
+        assert "Traceback" not in err
+
+    def test_missing_fact_dir_exit_66(self, tmp_path, datalog_setup, capsys):
+        dl, _ = datalog_setup
+        assert main(["datalog", str(dl), "--facts", str(tmp_path / "no")]) == 66
+        assert "input not found" in capsys.readouterr().err
+
+
+class TestDatalogSubcommand:
+    def test_solve_and_dump(self, tmp_path, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        out = tmp_path / "out"
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts), "--out", str(out)]
+        )
+        assert code == 0
+        assert "path: 6 tuples" in capsys.readouterr().out
+        rows = {
+            tuple(map(int, line.split()))
+            for line in (out / "path.tuples").read_text().splitlines()
+            if line and not line.startswith("#")
+        }
+        assert (0, 3) in rows and len(rows) == 6
+
+    def test_domain_override(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        assert main(["datalog", str(dl), "--facts", str(facts),
+                     "--domain", "N=16"]) == 0
+
+    def test_bad_domain_override(self, datalog_setup, capsys):
+        dl, _ = datalog_setup
+        assert main(["datalog", str(dl), "--domain", "N=banana"]) == 2
+
+
+class TestBudgetFlags:
+    def test_generous_budget_runs_normally(self, clean_file, capsys):
+        code = main(
+            ["analyze", clean_file, "--no-library", "--timeout", "120",
+             "--node-budget", "10000000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "context-insensitive points-to" in captured.out
+        assert "degraded" not in captured.err
+
+    def test_no_degrade_budget_exhaustion_exit_75(self, clean_file, capsys):
+        code = main(
+            ["analyze", clean_file, "--no-library", "--context-sensitive",
+             "--node-budget", "40", "--no-degrade"]
+        )
+        assert code == 75
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert "Traceback" not in err
+
+    def test_degraded_run_flags_result(self, clean_file, capsys):
+        code = main(
+            ["analyze", clean_file, "--no-library", "--context-sensitive",
+             "--timeout", "120", "--node-budget", "40"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "degraded:" in captured.err
+        assert "final=context_insensitive" in captured.err
+
+    def test_checkpoint_dir_flag(self, clean_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["analyze", clean_file, "--no-library", "--context-sensitive",
+             "--timeout", "120", "--node-budget", "40",
+             "--checkpoint-dir", str(ckpt)]
+        )
+        assert code == 0
+        assert (ckpt / "context_sensitive.ckpt").exists()
+
+    def test_iteration_cap_exit_75(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts),
+             "--max-iterations", "1"]
+        )
+        assert code == 75
+        assert "budget exhausted" in capsys.readouterr().err
