@@ -149,6 +149,7 @@ class AnalysisResult:
     seconds: float = 0.0
     degraded: bool = False
     degradation: Optional[DegradationReport] = None
+    resumed: bool = False  # a run_rung attempt consumed a checkpoint
 
     @property
     def peak_nodes(self) -> int:

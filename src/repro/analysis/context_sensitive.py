@@ -207,6 +207,87 @@ class ContextSensitiveAnalysis:
         seconds = time.monotonic() - start
         return self._wrap_result(solver, numbering, graph, seconds)
 
+    def run_rung(self, mode: str = "full") -> AnalysisResult:
+        """Run exactly *one* ladder rung — the unit a process supervisor
+        retries and steps down.
+
+        Unlike :meth:`_run_governed`, which walks the whole ladder inside
+        one process, ``run_rung`` runs the named mode and lets faults
+        propagate: the supervisor (another process) owns the retry and
+        step-down policy.  Two supervisor-facing behaviors:
+
+        * with ``checkpoint_dir`` set, a ``full`` rung resumes from an
+          existing checkpoint and, on *any* exception, checkpoints the
+          strata completed so far before re-raising — so a retried
+          attempt does not redo finished work;
+        * the result's ``resumed`` attribute reports whether a checkpoint
+          was consumed.
+        """
+        start = time.monotonic()
+        if mode == "context_insensitive":
+            result = ContextInsensitiveAnalysis(
+                facts=self.facts,
+                type_filtering=True,
+                discover_call_graph=True,
+                budget=self.budget,
+            ).run()
+            result.degraded = True
+            result.resumed = False
+            result.seconds = time.monotonic() - start
+            return result
+
+        graph = self._obtain_call_graph()
+        if mode == "truncated":
+            numbering = self._number(graph, cap=self.truncate_cap)
+        elif mode == "full":
+            numbering = self._number(graph)
+        else:
+            raise AnalysisError(
+                f"run_rung mode must be one of 'full', 'truncated', "
+                f"'context_insensitive', got {mode!r}"
+            )
+
+        ckpt_path = None
+        resume_meta = None
+        if mode == "full" and self.checkpoint_dir is not None:
+            ckpt_path = pathlib.Path(self.checkpoint_dir) / "context_sensitive.ckpt"
+            if not ckpt_path.exists():
+                ckpt_path.parent.mkdir(parents=True, exist_ok=True)
+
+        solver = self._build_solver(
+            numbering, graph, self.order_spec, budget=self.budget,
+            install=not (ckpt_path is not None and ckpt_path.exists()),
+        )
+        if ckpt_path is not None and ckpt_path.exists():
+            resume_meta = load_checkpoint(solver, ckpt_path)
+        try:
+            if resume_meta is not None:
+                solver.solve(start_stratum=resume_meta.next_stratum)
+            else:
+                solver.solve()
+        except BaseException:
+            # Checkpoint whatever is at fixpoint so the *next* attempt
+            # (ours or a fresh process) starts from here, then let the
+            # fault travel to the supervisor.
+            if ckpt_path is not None:
+                try:
+                    save_checkpoint(
+                        solver, ckpt_path,
+                        next_stratum=solver.last_completed_stratum + 1,
+                        extra_meta={"reason": "interrupted"},
+                    )
+                except Exception:
+                    pass  # the original fault matters more
+            raise
+        result = self._wrap_result(
+            solver, numbering, graph, time.monotonic() - start,
+            degraded=(mode != "full"),
+        )
+        result.resumed = resume_meta is not None
+        if ckpt_path is not None and ckpt_path.exists():
+            ckpt_path.unlink()  # consumed: a later run must start fresh
+        return result
+
     def _run_governed(self) -> AnalysisResult:
         budget = self.budget.start()
         report = DegradationReport()

@@ -26,6 +26,8 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..runtime import faults
+
 __all__ = ["BDD", "FALSE", "TRUE", "BDDError"]
 
 FALSE = 0
@@ -59,9 +61,16 @@ class BDD:
     num_vars:
         Number of boolean variables (levels).  May be grown later with
         :meth:`add_vars`.
+    cache_limit:
+        Soft cap on the total number of operation-cache entries.  The
+        caches are checked every ``_watchdog_stride`` freshly allocated
+        nodes and cleared wholesale when they exceed the cap
+        (clear-on-overflow — entries are cheap to recompute, and a full
+        clear keeps the check O(1) on the hot path).  ``None`` disables
+        the cap.
     """
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(self, num_vars: int = 0, cache_limit: Optional[int] = 2_000_000) -> None:
         if num_vars < 0:
             raise BDDError("num_vars must be non-negative")
         self.num_vars = num_vars
@@ -91,12 +100,19 @@ class BDD:
         self.peak_nodes = 2
         self.gc_count = 0
         self.op_count = 0
+        self.cache_limit = cache_limit
+        self.cache_clears = 0
+        self.peak_cache_entries = 0
         # Cooperative watchdog (see repro.runtime.budget): called every
         # ``_watchdog_stride`` freshly allocated nodes from inside ``mk``,
         # so runaway apply/rel_prod recursions are interrupted while they
-        # grow.  ``None`` keeps the hot path to a single attribute test.
+        # grow.  The same stride drives the cache cap and the ``bdd.mk``
+        # fault-injection point, keeping the hot path to one counter
+        # increment and compare.
         self._watchdog: Optional[Callable[[], None]] = None
-        self._watchdog_stride = 2048
+        # With faults armed the stride drops so the ``bdd.mk`` injection
+        # point fires even in arenas too small to reach the full stride.
+        self._watchdog_stride = 64 if faults.armed else 2048
         self._watchdog_tick = 0
 
     # ------------------------------------------------------------------
@@ -144,10 +160,14 @@ class BDD:
         self._unique[key] = node
         if node + 1 > self.peak_nodes:
             self.peak_nodes = node + 1
-        if self._watchdog is not None:
-            self._watchdog_tick += 1
-            if self._watchdog_tick >= self._watchdog_stride:
-                self._watchdog_tick = 0
+        self._watchdog_tick += 1
+        if self._watchdog_tick >= self._watchdog_stride:
+            self._watchdog_tick = 0
+            if faults.armed:
+                faults.fire("bdd.mk")
+            if self.cache_limit is not None:
+                self._trim_caches()
+            if self._watchdog is not None:
                 self._watchdog()
         return node
 
@@ -662,13 +682,7 @@ class BDD:
         self._unique = {
             (new_var[i], new_low[i], new_high[i]): i for i in range(2, len(order))
         }
-        self._apply_cache.clear()
-        self._not_cache.clear()
-        self._ite_cache.clear()
-        self._exist_cache.clear()
-        self._relprod_cache.clear()
-        self._replace_cache.clear()
-        self._satcount_cache.clear()
+        self.clear_caches()
         self.gc_count += 1
         return mapping
 
@@ -681,10 +695,23 @@ class BDD:
             + len(self._exist_cache)
             + len(self._relprod_cache)
             + len(self._replace_cache)
+            + len(self._satcount_cache)
         )
 
+    def _trim_caches(self) -> None:
+        """Enforce ``cache_limit``: clear-on-overflow, peak recorded."""
+        entries = self.cache_entries()
+        if entries > self.peak_cache_entries:
+            self.peak_cache_entries = entries
+        if self.cache_limit is not None and entries > self.cache_limit:
+            self.clear_caches()
+            self.cache_clears += 1
+
     def clear_caches(self) -> None:
-        """Drop operation caches (e.g. between benchmark repetitions)."""
+        """Drop operation caches (overflow, GC, reorder, benchmarks)."""
+        entries = self.cache_entries()
+        if entries > self.peak_cache_entries:
+            self.peak_cache_entries = entries
         self._apply_cache.clear()
         self._not_cache.clear()
         self._ite_cache.clear()

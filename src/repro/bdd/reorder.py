@@ -57,7 +57,12 @@ def rebuild_with_levels(
         cache[node] = result
         return result
 
-    return [copy(r) for r in roots]
+    out = [copy(r) for r in roots]
+    # The rebuild leaves the destination's operation caches full of
+    # permutation-specific ite entries that will never hit again; drop
+    # them so a reorder cannot silently double the manager's footprint.
+    dst.clear_caches()
+    return out
 
 
 def count_nodes_under_order(

@@ -19,11 +19,12 @@ repro.bench.harness <figure>``) prints the text and writes it under
 
 from __future__ import annotations
 
+import json
 import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import (
     ContextInsensitiveAnalysis,
@@ -41,6 +42,8 @@ from .generator import WorkloadParams, generate_program
 __all__ = [
     "BenchmarkRun",
     "run_benchmark",
+    "run_corpus",
+    "run_corpus_supervised",
     "fig3_table",
     "fig4_table",
     "fig5_table",
@@ -74,6 +77,45 @@ class BenchmarkRun:
     escape_summary: Dict[str, int]
     refinement: Dict[str, Tuple[float, float]]  # variant -> (multi%, refinable%)
     degraded: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (tuples become lists) — the worker protocol and
+        ``BENCH_*.json`` artifacts use this."""
+        return {
+            "name": self.name,
+            "stats": dict(self.stats),
+            "num_vars": self.num_vars,
+            "paths": self.paths,
+            "alg1": list(self.alg1),
+            "alg2": list(self.alg2),
+            "alg3": list(self.alg3),
+            "alg3_iterations": self.alg3_iterations,
+            "alg5": list(self.alg5),
+            "alg6": list(self.alg6),
+            "alg7": list(self.alg7),
+            "escape_summary": dict(self.escape_summary),
+            "refinement": {k: list(v) for k, v in self.refinement.items()},
+            "degraded": list(self.degraded),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchmarkRun":
+        return cls(
+            name=data["name"],
+            stats=dict(data["stats"]),
+            num_vars=int(data["num_vars"]),
+            paths=int(data["paths"]),
+            alg1=tuple(data["alg1"]),
+            alg2=tuple(data["alg2"]),
+            alg3=tuple(data["alg3"]),
+            alg3_iterations=int(data["alg3_iterations"]),
+            alg5=tuple(data["alg5"]),
+            alg6=tuple(data["alg6"]),
+            alg7=tuple(data["alg7"]),
+            escape_summary=dict(data["escape_summary"]),
+            refinement={k: tuple(v) for k, v in data["refinement"].items()},
+            degraded=list(data.get("degraded", ())),
+        )
 
 
 def run_benchmark(
@@ -212,11 +254,12 @@ def run_corpus(
     timeout: Optional[float] = None,
     node_budget: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    names: Optional[Sequence[str]] = None,
 ) -> List[BenchmarkRun]:
     """Benchmark the whole corpus; a budget-exhausted entry is skipped
     (with a note) instead of aborting the remaining entries."""
     runs = []
-    for name in corpus_names(small=small):
+    for name in names if names is not None else corpus_names(small=small):
         start = time.monotonic()
         try:
             run = run_benchmark(
@@ -239,6 +282,114 @@ def run_corpus(
                 flush=True,
             )
     return runs
+
+
+def run_corpus_supervised(
+    names: Optional[Sequence[str]] = None,
+    small: bool = False,
+    verbose: bool = True,
+    timeout: Optional[float] = None,
+    node_budget: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    jobs: int = 2,
+    retries: int = 1,
+    memory_limit_mb: Optional[int] = None,
+    deadline: Optional[float] = None,
+    entry_env: Optional[Dict[str, Dict[str, str]]] = None,
+) -> Tuple[List[BenchmarkRun], List[Dict[str, Any]]]:
+    """Benchmark the corpus with per-entry process isolation.
+
+    Each entry runs in its own supervised worker process
+    (:mod:`repro.runtime.supervisor`): a crash, hang, or OOM in one entry
+    is classified and recorded while the others complete.  ``timeout`` and
+    ``node_budget`` are the *cooperative* per-analysis budgets (as in
+    :func:`run_corpus`); ``deadline`` and ``memory_limit_mb`` are the
+    *hard* per-entry limits (SIGKILL escalation and ``RLIMIT_AS``).
+
+    Returns ``(runs, records)``: the completed :class:`BenchmarkRun` list
+    plus one record per entry with the supervision outcome and the
+    isolation overhead — supervised wall-clock minus the child's own
+    solve time, i.e. what fork + import + JSON serialization cost.
+
+    ``entry_env`` maps an entry name to extra environment variables for
+    *that entry's* workers — the seam fault-injection tests use to poison
+    a single entry (``{"jetty": {"REPRO_FAULT": "abort@solver.stratum"}}``)
+    and assert the others still complete.
+    """
+    from ..runtime.errors import WorkerCrashed
+    from ..runtime.supervisor import Supervisor, SupervisorConfig
+    from ..runtime.worker import WorkerPool
+
+    if names is None:
+        names = corpus_names(small=small)
+    job_list = []
+    for name in names:
+        job = {
+            "kind": "bench",
+            "name": name,
+            "timeout": timeout,
+            "node_budget": node_budget,
+            "checkpoint_dir": checkpoint_dir,
+        }
+        if entry_env and name in entry_env:
+            job["env"] = dict(entry_env[name])
+        job_list.append(job)
+    supervisor = Supervisor(
+        SupervisorConfig(
+            timeout=deadline,
+            memory_limit_mb=memory_limit_mb,
+            retries=retries,
+        )
+    )
+    results = WorkerPool(supervisor, jobs=jobs).run(job_list)
+
+    runs: List[BenchmarkRun] = []
+    records: List[Dict[str, Any]] = []
+    for name, outcome in zip(names, results):
+        if isinstance(outcome, WorkerCrashed):
+            records.append(
+                {
+                    "name": name,
+                    "ok": False,
+                    "classification": outcome.classification,
+                    "attempts": outcome.attempts,
+                }
+            )
+            if verbose:
+                print(
+                    f"  [{name}: crashed ({outcome.classification}), "
+                    f"{len(outcome.attempts)} attempt(s)]",
+                    flush=True,
+                )
+            continue
+        value = outcome.value
+        solve_seconds = float(value.pop("solve_seconds", 0.0))
+        run = BenchmarkRun.from_dict(value)
+        runs.append(run)
+        records.append(
+            {
+                "name": name,
+                "ok": True,
+                "degraded": run.degraded,
+                "retries": outcome.retries,
+                "wall_seconds": outcome.wall_seconds,
+                "solve_seconds": solve_seconds,
+                "isolation_overhead_s": max(
+                    0.0, outcome.wall_seconds - solve_seconds
+                ),
+                "attempts": [a.to_dict() for a in outcome.attempts],
+            }
+        )
+        if verbose:
+            rec = records[-1]
+            note = f" degraded {','.join(run.degraded)}" if run.degraded else ""
+            print(
+                f"  [{name}: {rec['wall_seconds']:.1f}s "
+                f"(isolation overhead {rec['isolation_overhead_s']:.2f}s)"
+                f"{note}]",
+                flush=True,
+            )
+    return runs, records
 
 
 def _sci(n: int) -> str:
@@ -643,6 +794,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--checkpoint-dir", metavar="DIR",
         help="directory for mid-solve checkpoints of budgeted runs",
     )
+    parser.add_argument(
+        "--isolate", action="store_true",
+        help="run each corpus entry in a supervised worker process "
+        "(crashes are classified and skipped, not fatal)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="parallel workers in --isolate mode (default 2)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per crashed entry in --isolate mode (default 1)",
+    )
+    parser.add_argument(
+        "--memory-limit", type=int, metavar="MB",
+        help="hard RLIMIT_AS cap per worker in --isolate mode",
+    )
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="hard per-entry wall clock in --isolate mode "
+        "(SIGTERM then SIGKILL)",
+    )
+    parser.add_argument(
+        "--entries", metavar="NAME,NAME",
+        help="run only these corpus entries (comma-separated)",
+    )
     args = parser.parse_args(argv)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -652,20 +829,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.figure == "all"
         else [args.figure]
     )
+    entries = None
+    if args.entries:
+        entries = [n.strip() for n in args.entries.split(",") if n.strip()]
     runs = None
+    crashed = False
     if args.figure == "report" or any(
         f in figures for f in ("fig3", "fig4", "fig5", "fig6")
     ):
         print("Running corpus ...", flush=True)
-        runs = run_corpus(
-            small=args.small,
-            timeout=args.timeout,
-            node_budget=args.node_budget,
-            checkpoint_dir=args.checkpoint_dir,
-        )
+        if args.isolate:
+            runs, records = run_corpus_supervised(
+                names=entries,
+                small=args.small,
+                timeout=args.timeout,
+                node_budget=args.node_budget,
+                checkpoint_dir=args.checkpoint_dir,
+                jobs=args.jobs,
+                retries=args.retries,
+                memory_limit_mb=args.memory_limit,
+                deadline=args.deadline,
+            )
+            crashed = any(not r["ok"] for r in records)
+            bench_json = out / "BENCH_supervised.json"
+            bench_json.write_text(
+                json.dumps(
+                    {
+                        "entries": records,
+                        "runs": [r.to_dict() for r in runs],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            print(f"wrote {bench_json}", flush=True)
+        else:
+            runs = run_corpus(
+                small=args.small,
+                timeout=args.timeout,
+                node_budget=args.node_budget,
+                checkpoint_dir=args.checkpoint_dir,
+                names=entries,
+            )
         if not runs:
             print("no corpus entry finished within the budget")
-            return 75
+            return 70 if crashed else 75
     if args.figure == "report":
         from .report import build_report
 
@@ -677,7 +886,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text = build_report(runs, extra_sections=extra)
         print(text)
         (out / "report.md").write_text(text)
-        return 0
+        return 70 if crashed else 0
     for figure in figures:
         if figure == "scaling":
             text, _ = scaling_table()
@@ -693,7 +902,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(text)
         (out / f"{figure}.txt").write_text(text + "\n")
-    return 0
+    return 70 if crashed else 0
 
 
 if __name__ == "__main__":

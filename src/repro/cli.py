@@ -6,6 +6,8 @@
     python -m repro analyze  program.mj --context-sensitive --var Main.main:x
     python -m repro analyze  program.mj --context-sensitive --timeout 60 \
                              --node-budget 2000000 --checkpoint-dir ckpt/
+    python -m repro analyze  a.mj b.mj c.mj --context-sensitive \
+                             --isolate --jobs 2 --memory-limit 512
     python -m repro query    program.mj --kind escape
     python -m repro query    program.mj --kind vuln
     python -m repro query    program.mj --kind casts
@@ -26,6 +28,9 @@ Exit codes (sysexits.h-flavoured, stable for scripting):
 65    malformed input — mini-Java source, Datalog program, fact
       file, or checkpoint (one-line diagnostic with file and line)
 66    an input file or directory does not exist
+70    a supervised worker process crashed, hung, or was killed
+      (``--isolate`` mode) and retries plus degradation could not
+      recover an answer
 75    resource budget exhausted (timeout / node budget / iteration
       cap) and degradation was disabled or also exhausted
 ====  =============================================================
@@ -63,6 +68,7 @@ from .runtime import (
     InvalidInputError,
     ReproError,
     ResourceBudget,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -72,6 +78,7 @@ __all__ = [
     "EXIT_USAGE",
     "EXIT_DATAERR",
     "EXIT_NOINPUT",
+    "EXIT_WORKER",
     "EXIT_BUDGET",
 ]
 
@@ -80,6 +87,7 @@ EXIT_VULNERABLE = 1
 EXIT_USAGE = 2
 EXIT_DATAERR = 65
 EXIT_NOINPUT = 66
+EXIT_WORKER = 70
 EXIT_BUDGET = 75
 
 
@@ -98,8 +106,10 @@ def _budget_of(args) -> Optional[ResourceBudget]:
     )
 
 
-def _load(args) -> "tuple":
-    text = pathlib.Path(args.program).read_text()
+def _load(args, path: Optional[str] = None) -> "tuple":
+    if path is None:
+        path = args.program
+    text = pathlib.Path(path).read_text()
     program = parse_program(
         text, main=args.main, include_library=not args.no_library
     )
@@ -128,7 +138,119 @@ def _print_degradation(result) -> None:
 
 
 def _cmd_analyze(args) -> int:
-    program, facts = _load(args)
+    paths: List[str] = list(args.program)
+    if args.dump_dir and len(paths) > 1:
+        print("repro: --dump-dir takes a single program", file=sys.stderr)
+        return EXIT_USAGE
+    if args.isolate:
+        return _cmd_analyze_isolated(args, paths)
+    code = EXIT_OK
+    for path in paths:
+        if len(paths) > 1:
+            print(f"== {path} ==")
+        code = _analyze_one(args, path)
+        if code != EXIT_OK:
+            return code
+    return code
+
+
+def _cmd_analyze_isolated(args, paths: List[str]) -> int:
+    """Run each program in a supervised worker process (``--isolate``).
+
+    Aggregate exit code: 70 if any program's worker could not be
+    recovered, else 75 if any failed on a cooperative budget, else 0.
+    """
+    from .runtime.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        ladder_fallbacks,
+    )
+    from .runtime.worker import WorkerPool
+
+    jobs = []
+    for path in paths:
+        jobs.append(
+            {
+                "kind": "analyze",
+                "program_path": path,
+                "main": args.main,
+                "no_library": args.no_library,
+                "context_sensitive": bool(args.context_sensitive),
+                "mode": "full",
+                "timeout": args.timeout,
+                "node_budget": args.node_budget,
+                "max_iterations": args.max_iterations,
+                "checkpoint_dir": args.checkpoint_dir,
+                "vars": list(args.var or ()),
+            }
+        )
+    # The cooperative --timeout doubles as a hard backstop: a worker that
+    # blows through twice its budget (plus startup headroom) is wedged
+    # and gets the SIGTERM -> SIGKILL treatment.
+    hard_deadline = None
+    if args.timeout is not None:
+        hard_deadline = args.timeout * 2 + 30
+    supervisor = Supervisor(
+        SupervisorConfig(
+            timeout=hard_deadline,
+            memory_limit_mb=args.memory_limit,
+            retries=args.retries,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    )
+    fallbacks = None
+    if args.context_sensitive and not args.no_degrade:
+        fallbacks = ladder_fallbacks
+    results = WorkerPool(supervisor, jobs=args.jobs).run(
+        jobs, fallbacks=fallbacks
+    )
+    code = EXIT_OK
+    for path, outcome in zip(paths, results):
+        prefix = f"{path}: " if len(paths) > 1 else ""
+        if isinstance(outcome, WorkerCrashed):
+            print(
+                f"repro: {path}: worker failed "
+                f"({outcome.classification}): {outcome}",
+                file=sys.stderr,
+            )
+            if outcome.classification == "budget":
+                if code == EXIT_OK:
+                    code = EXIT_BUDGET
+            else:
+                code = EXIT_WORKER
+            continue
+        value = outcome.value
+        if outcome.degraded or value.get("degraded"):
+            print(
+                f"repro: {path}: degraded to mode={outcome.mode} "
+                f"after {outcome.retries} retr"
+                f"{'y' if outcome.retries == 1 else 'ies'}",
+                file=sys.stderr,
+            )
+        kind = (
+            "context-sensitive"
+            if value.get("relation") == "vPC"
+            else "context-insensitive"
+        )
+        detail = ""
+        if "call_paths" in value:
+            detail = f"{value['call_paths']} call paths, "
+        print(
+            f"{prefix}{kind} points-to: {detail}"
+            f"{value['tuples']} tuples, {value['seconds']:.2f}s, "
+            f"{value['peak_nodes']} peak BDD nodes"
+        )
+        for spec, heaps in (value.get("vars") or {}).items():
+            print(f"  {spec} ->")
+            for heap in heaps:
+                print(f"      {heap}")
+            if not heaps:
+                print("      (empty)")
+    return code
+
+
+def _analyze_one(args, path: str) -> int:
+    program, facts = _load(args, path)
     budget = _budget_of(args)
     if args.context_sensitive:
         result = ContextSensitiveAnalysis(
@@ -313,8 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-stratum fixpoint iteration cap",
         )
 
-    def common(p):
-        p.add_argument("program", help="mini-Java source file")
+    def common(p, multi=False):
+        if multi:
+            p.add_argument(
+                "program", nargs="+", help="mini-Java source file(s)"
+            )
+        else:
+            p.add_argument("program", help="mini-Java source file")
         p.add_argument("--main", default="Main", help="entry class (default Main)")
         p.add_argument(
             "--no-library", action="store_true", help="do not link the class library"
@@ -326,7 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.set_defaults(func=_cmd_stats)
 
     p_analyze = sub.add_parser("analyze", help="run the points-to analysis")
-    common(p_analyze)
+    common(p_analyze, multi=True)
     p_analyze.add_argument(
         "--context-sensitive", action="store_true",
         help="run Algorithms 4+5 instead of Algorithm 3",
@@ -346,6 +473,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-degrade", action="store_true",
         help="fail with exit code 75 instead of walking the degradation "
         "ladder when the budget is exhausted",
+    )
+    p_analyze.add_argument(
+        "--isolate", action="store_true",
+        help="run each program in a supervised worker process with hard "
+        "kill/memory enforcement (exit 70 on unrecovered crash)",
+    )
+    p_analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel workers with --isolate (default 1)",
+    )
+    p_analyze.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retries per crashed worker with --isolate (default 2)",
+    )
+    p_analyze.add_argument(
+        "--memory-limit", type=int, metavar="MB",
+        help="hard RLIMIT_AS cap per worker with --isolate",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -397,6 +541,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (IRError, DatalogError, BDDError) as err:
         print(f"repro: {err}", file=sys.stderr)
         return EXIT_DATAERR
+    except WorkerCrashed as err:
+        # Must precede the ReproError handler: a dead worker is a 70,
+        # not a budget 75 — unless the child reported a budget fault.
+        print(f"repro: worker failed ({err.classification}): {err}",
+              file=sys.stderr)
+        return EXIT_BUDGET if err.classification == "budget" else EXIT_WORKER
     except ReproError as err:
         print(f"repro: budget exhausted: {err}", file=sys.stderr)
         if err.completed_strata is not None:

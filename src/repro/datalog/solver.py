@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from ..bdd import BDD, BDDError, Domain, FALSE, TRUE, bits_for
 from ..bdd.domain import equality_relation
 from ..bdd.ordering import assign_levels
+from ..runtime import faults
 from ..runtime.budget import ResourceBudget, Watchdog
 from ..runtime.errors import IterationLimitExceeded, ReproError
 from .ast import DatalogError, NamedConst, NumberConst, ProgramAST, Term
@@ -65,6 +66,11 @@ class SolveStats:
     rule_applications: int = 0
     peak_nodes: int = 0
     strata: int = 0
+    # Operation-cache pressure: the high-water entry count across the
+    # manager's caches and how often the cap cleared them.  Cached entries
+    # also count toward the node budget (see Watchdog.check).
+    peak_cache_entries: int = 0
+    cache_clears: int = 0
 
     @property
     def peak_bytes(self) -> int:
@@ -126,7 +132,7 @@ class Solver:
         )
         levels = assign_levels(self.order_spec, domain_bits)
         total_bits = sum(domain_bits.values())
-        self.manager = BDD(num_vars=total_bits)
+        self.manager = BDD(num_vars=total_bits, cache_limit=cache_limit)
         self._pool: Dict[PhysRef, Domain] = {}
         for logical, count in self._instances.items():
             size = program.domains[logical].size
@@ -291,6 +297,8 @@ class Solver:
                     continue
                 self._current_stratum = stratum
                 self._current_stratum_index = index
+                if faults.armed:
+                    faults.fire("solver.stratum")
                 if stratum.rules:
                     recursive = set(map(id, stratum.recursive_rules))
                     once_rules = [
@@ -308,7 +316,7 @@ class Solver:
                 self.last_completed_stratum = index
         except ReproError as err:
             self.stats.seconds = time.monotonic() - start
-            self.stats.peak_nodes = self.manager.peak_nodes
+            self._record_manager_stats()
             if err.stats is None:
                 err.stats = self.stats
             if err.completed_strata is None:
@@ -322,9 +330,18 @@ class Solver:
             self._current_stratum = None
             self._current_stratum_index = None
         self.stats.seconds = time.monotonic() - start
-        self.stats.peak_nodes = self.manager.peak_nodes
+        self._record_manager_stats()
         self._solved = True
         return self.stats
+
+    def _record_manager_stats(self) -> None:
+        m = self.manager
+        self.stats.peak_nodes = m.peak_nodes
+        entries = m.cache_entries()
+        if entries > m.peak_cache_entries:
+            m.peak_cache_entries = entries
+        self.stats.peak_cache_entries = m.peak_cache_entries
+        self.stats.cache_clears = m.cache_clears
 
     def _iteration_limit(self) -> int:
         if self.budget is not None and self.budget.max_iterations is not None:
@@ -351,6 +368,8 @@ class Solver:
         limit = self._iteration_limit()
         for iteration in range(limit):
             self.stats.iterations += 1
+            if faults.armed:
+                faults.fire("solver.stratum")
             if self._watchdog is not None:
                 self._watchdog.check()
             contributions: Dict[str, int] = {p: FALSE for p in stratum.predicates}

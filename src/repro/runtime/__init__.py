@@ -17,16 +17,25 @@ clock.  This package makes such blowups *recoverable* instead of fatal:
 * :mod:`repro.runtime.degrade` — the machine-readable
   :class:`DegradationReport` describing which rung of the degradation
   ladder (full → reordered → k-truncated → context-insensitive) produced
-  the final answer.
+  the final answer,
+* :mod:`repro.runtime.supervisor` — *hard* enforcement: run a job in a
+  sandboxed child process with a wall-clock deadline (SIGTERM → SIGKILL
+  escalation), an ``RLIMIT_AS`` memory cap, crash classification, and
+  retry-with-backoff that resumes from checkpoints and steps down the
+  degradation ladder,
+* :mod:`repro.runtime.worker` — the worker child's JSON job protocol and
+  the bounded parallel :class:`WorkerPool` built on the supervisor,
+* :mod:`repro.runtime.faults` — deterministic, env-var-armed fault
+  injection (hang / OOM / abort / exception) at the kernel and solver
+  hot paths, so every failure mode above is testable.
+
+The checkpoint API is imported lazily (PEP 562): it depends on the BDD
+layer, which itself uses :mod:`repro.runtime.faults`, and an eager import
+here would close that cycle.
 """
 
 from .budget import ResourceBudget, Watchdog
-from .checkpoint import (
-    CheckpointMeta,
-    load_checkpoint,
-    save_checkpoint,
-)
-from .degrade import Attempt, DegradationReport
+from .degrade import LADDER, Attempt, DegradationReport
 from .errors import (
     CheckpointError,
     InvalidInputError,
@@ -34,6 +43,8 @@ from .errors import (
     NodeBudgetExceeded,
     ReproError,
     SolverTimeout,
+    WorkerCrashed,
+    WorkerKilled,
 )
 
 __all__ = [
@@ -43,11 +54,37 @@ __all__ = [
     "DegradationReport",
     "InvalidInputError",
     "IterationLimitExceeded",
+    "LADDER",
     "NodeBudgetExceeded",
     "ReproError",
     "ResourceBudget",
     "SolverTimeout",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisedResult",
     "Watchdog",
+    "WorkerCrashed",
+    "WorkerKilled",
+    "WorkerPool",
     "load_checkpoint",
     "save_checkpoint",
 ]
+
+_LAZY = {
+    "CheckpointMeta": "checkpoint",
+    "load_checkpoint": "checkpoint",
+    "save_checkpoint": "checkpoint",
+    "Supervisor": "supervisor",
+    "SupervisorConfig": "supervisor",
+    "SupervisedResult": "supervisor",
+    "WorkerPool": "worker",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

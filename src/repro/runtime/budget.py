@@ -107,14 +107,25 @@ class Watchdog:
         self.stride = stride
 
     def check(self) -> None:
-        """Raise if any budget dimension is exhausted."""
+        """Raise if any budget dimension is exhausted.
+
+        The node budget is charged for *both* arena nodes and operation
+        cache entries: the caches grow alongside the arena during a
+        blowup, and a budget that ignored them would under-count real
+        memory by 2-3x.  The manager additionally caps its caches itself
+        (``BDD.cache_limit``, clear-on-overflow), so cache pressure alone
+        degrades memoization before it can exhaust the budget.
+        """
         budget = self.budget
         if budget.node_budget is not None:
             count = self.manager.node_count()
-            if count > budget.node_budget:
+            cached = self.manager.cache_entries()
+            if cached > self.manager.peak_cache_entries:
+                self.manager.peak_cache_entries = cached
+            if count + cached > budget.node_budget:
                 raise NodeBudgetExceeded(
-                    f"BDD arena holds {count} nodes, budget is "
-                    f"{budget.node_budget}",
+                    f"BDD arena holds {count} nodes plus {cached} cache "
+                    f"entries, budget is {budget.node_budget}",
                     node_count=count,
                     budget=budget.node_budget,
                 )

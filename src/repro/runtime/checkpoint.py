@@ -124,8 +124,20 @@ def save_checkpoint(
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text("\n".join(lines) + "\n")
+    # Durability, not just atomicity: a crashed worker's retry resumes
+    # from this file, so it must survive power loss.  fsync the data
+    # before the rename makes it visible, and fsync the directory so the
+    # rename itself is on disk.
+    with open(tmp, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, target)
+    dir_fd = os.open(target.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
     return CheckpointMeta(
         path=str(target),
         next_stratum=next_stratum,

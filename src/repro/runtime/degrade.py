@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-__all__ = ["Attempt", "DegradationReport"]
+__all__ = ["Attempt", "DegradationReport", "LADDER"]
+
+# The rungs, cheapest-last.  ``reorder`` only exists as an in-process
+# retry (it resumes from a checkpoint under a sifted variable order); the
+# cross-process supervisor steps down the other three.
+LADDER = ("full", "reorder", "truncated", "context_insensitive")
 
 
 @dataclass

@@ -21,6 +21,8 @@ __all__ = [
     "IterationLimitExceeded",
     "InvalidInputError",
     "CheckpointError",
+    "WorkerCrashed",
+    "WorkerKilled",
 ]
 
 
@@ -108,3 +110,49 @@ class InvalidInputError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is corrupt, truncated, or schema-incompatible."""
+
+
+class WorkerCrashed(ReproError):
+    """A supervised worker process failed to produce a result.
+
+    Raised by the supervisor after retries (and any degradation fallbacks)
+    are exhausted.  Carries the *classification* of the final failure and
+    the full attempt transcript so callers can distinguish an OOM-killed
+    child from a wedged one from a clean-but-failing job.
+
+    Attributes
+    ----------
+    classification:
+        ``hang`` | ``oom`` | ``oom-kill`` | ``abort`` | ``segfault`` |
+        ``signal:<NAME>`` | ``exception`` | ``budget`` | ``crash`` |
+        ``protocol``.
+    exit_code:
+        The worker's raw exit status (negative = died on that signal),
+        ``None`` when the worker never exited on its own.
+    term_signal:
+        Number of the signal that ended the worker, when one did.
+    attempts:
+        List of per-attempt record dicts (see
+        :class:`repro.runtime.supervisor.AttemptRecord`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        classification: str = "crash",
+        exit_code: Optional[int] = None,
+        term_signal: Optional[int] = None,
+        attempts: Optional[Sequence[Any]] = None,
+        **kw,
+    ) -> None:
+        super().__init__(message, **kw)
+        self.classification = classification
+        self.exit_code = exit_code
+        self.term_signal = term_signal
+        self.attempts: List[Any] = list(attempts or ())
+
+
+class WorkerKilled(WorkerCrashed):
+    """The supervisor killed the worker: the wall-clock deadline passed
+    and the SIGTERM -> SIGKILL escalation ended it."""

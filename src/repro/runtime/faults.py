@@ -1,0 +1,200 @@
+"""Deterministic fault injection for supervisor and robustness testing.
+
+Real failure modes of a BDD analysis — a wedged ``rel_prod``, runaway
+allocation, a native-level abort — are timing-dependent and impossible to
+reproduce on demand.  This module plants *fault points* at the two places
+where pathology actually develops (the BDD kernel's ``mk`` stride and the
+solver's stratum loop, plus a ``probe`` site in the worker's test job) and
+arms them from a single environment variable, so every failure mode the
+supervisor must classify can be triggered deterministically::
+
+    REPRO_FAULT="KIND@SITE[#HITS][~MAXATTEMPT][,KIND@SITE...]"
+
+* ``KIND`` — one of
+
+  - ``exception`` — raise :class:`FaultError` (a clean, catchable error),
+  - ``hang``      — ignore ``SIGTERM`` and sleep forever (a wedged worker
+    that only ``SIGKILL`` can stop),
+  - ``oom``       — allocate without bound until the allocator fails
+    (under ``RLIMIT_AS`` this raises ``MemoryError``; without a limit the
+    kernel OOM killer delivers ``SIGKILL``),
+  - ``abort``     — ``os.abort()``: immediate ``SIGABRT`` death, no
+    cleanup, no protocol message — the closest Python gets to a native
+    crash.
+
+* ``SITE`` — where to fire: ``bdd.mk`` (every watchdog stride inside the
+  kernel's node constructor), ``solver.stratum`` (once per stratum and
+  per fixpoint iteration), or ``probe`` (the worker's test job).
+* ``#HITS`` — fire on the Nth arrival at the site (default 1), so a fault
+  can be planted *mid*-solve, after checkpointable progress exists.
+* ``~MAXATTEMPT`` — only fire while the supervisor attempt index (the
+  ``REPRO_SUPERVISOR_ATTEMPT`` environment variable, 0-based) is below
+  this bound.  ``exception@solver.stratum#3~1`` crashes the first attempt
+  mid-solve and lets the retry — resuming from the checkpoint the first
+  attempt saved — run clean.  This is what makes crash *recovery*, not
+  just crash *classification*, deterministically testable.
+
+Fault points are armed at import time from ``REPRO_FAULT`` (each worker
+child is a fresh process with its own environment) and cost a single
+module-attribute truth test when disarmed.  Tests running in-process can
+:func:`arm`/:func:`disarm` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FaultError",
+    "FaultSpecError",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "disarm",
+    "fire",
+    "parse_spec",
+]
+
+ENV_VAR = "REPRO_FAULT"
+ATTEMPT_VAR = "REPRO_SUPERVISOR_ATTEMPT"
+
+KINDS = ("exception", "hang", "oom", "abort")
+
+# Fast-path flag: hot code guards calls with ``if faults.armed:``.
+armed = False
+_SITES: Dict[str, "_Fault"] = {}
+
+
+class FaultError(RuntimeError):
+    """The clean-exception fault: an ordinary, catchable error."""
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``REPRO_FAULT`` specification."""
+
+
+class _Fault:
+    __slots__ = ("kind", "site", "after", "max_attempt", "hits")
+
+    def __init__(self, kind: str, site: str, after: int, max_attempt: Optional[int]):
+        self.kind = kind
+        self.site = site
+        self.after = after
+        self.max_attempt = max_attempt
+        self.hits = 0
+
+
+def parse_spec(text: str) -> List[_Fault]:
+    """Parse a ``REPRO_FAULT`` string into fault descriptors."""
+    faults = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        max_attempt: Optional[int] = None
+        if "~" in part:
+            part, _, bound = part.rpartition("~")
+            try:
+                max_attempt = int(bound)
+            except ValueError:
+                raise FaultSpecError(f"bad attempt bound in fault spec {part!r}~{bound!r}")
+        after = 1
+        if "#" in part:
+            part, _, count = part.rpartition("#")
+            try:
+                after = int(count)
+            except ValueError:
+                raise FaultSpecError(f"bad hit count in fault spec {part!r}#{count!r}")
+            if after < 1:
+                raise FaultSpecError(f"hit count must be >= 1, got {after}")
+        kind, sep, site = part.partition("@")
+        if not sep or not site:
+            raise FaultSpecError(
+                f"fault spec {part!r} must look like KIND@SITE[#HITS][~MAXATTEMPT]"
+            )
+        if kind not in KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r} (one of {KINDS})")
+        faults.append(_Fault(kind, site, after, max_attempt))
+    return faults
+
+
+def arm(text: str, attempt: Optional[int] = None) -> None:
+    """Install the faults described by ``text`` (replacing any armed set).
+
+    ``attempt`` is the supervisor attempt index used to evaluate
+    ``~MAXATTEMPT`` bounds; it defaults to ``REPRO_SUPERVISOR_ATTEMPT``.
+    """
+    global armed
+    if attempt is None:
+        try:
+            attempt = int(os.environ.get(ATTEMPT_VAR, "0"))
+        except ValueError:
+            attempt = 0
+    _SITES.clear()
+    for fault in parse_spec(text):
+        if fault.max_attempt is not None and attempt >= fault.max_attempt:
+            continue
+        _SITES[fault.site] = fault
+    armed = bool(_SITES)
+
+
+def arm_from_env() -> None:
+    """Arm from ``REPRO_FAULT`` if set (called once at import)."""
+    text = os.environ.get(ENV_VAR)
+    if text:
+        arm(text)
+
+
+def disarm() -> None:
+    global armed
+    _SITES.clear()
+    armed = False
+
+
+def fire(site: str) -> None:
+    """Trigger the fault armed at ``site``, if its hit count is due."""
+    fault = _SITES.get(site)
+    if fault is None:
+        return
+    fault.hits += 1
+    if fault.hits < fault.after:
+        return
+    _trigger(fault)
+
+
+def _trigger(fault: _Fault) -> None:
+    if fault.kind == "exception":
+        raise FaultError(
+            f"injected exception at {fault.site} (hit {fault.hits})"
+        )
+    if fault.kind == "hang":
+        # A genuinely wedged worker: SIGTERM is ignored, so only the
+        # supervisor's SIGKILL escalation can end this process.
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+        while True:
+            time.sleep(3600)
+    if fault.kind == "oom":
+        # Allocate until the allocator gives up.  Under RLIMIT_AS this
+        # raises MemoryError within a few iterations; unconstrained, the
+        # kernel's OOM killer eventually answers with SIGKILL.
+        hog = []
+        try:
+            while True:
+                hog.append(bytearray(16 << 20))
+        except MemoryError:
+            # Release the hoard before propagating so the worker can
+            # still allocate its (small) structured error message.
+            del hog[:]
+            raise
+    if fault.kind == "abort":  # pragma: no cover - kills the process
+        os.abort()
+    raise AssertionError(f"unreachable fault kind {fault.kind!r}")
+
+
+arm_from_env()

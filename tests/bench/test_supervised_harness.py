@@ -1,0 +1,68 @@
+"""Supervised (process-isolated) corpus runs: serialization round-trip,
+equality with the serial in-process path, and poisoned-entry isolation.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkRun,
+    run_benchmark,
+    run_corpus_supervised,
+)
+
+ENTRY = "freetts"  # smallest corpus entry: keeps the subprocess runs fast
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_benchmark(ENTRY)
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self, serial_run):
+        data = json.loads(json.dumps(serial_run.to_dict()))
+        back = BenchmarkRun.from_dict(data)
+        assert back == serial_run  # dataclass equality, tuples restored
+        assert isinstance(back.alg5, tuple)
+        assert all(isinstance(v, tuple) for v in back.refinement.values())
+
+
+class TestSupervisedCorpus:
+    def test_isolated_equals_serial(self, serial_run):
+        runs, records = run_corpus_supervised(
+            names=[ENTRY], jobs=1, retries=0, verbose=False
+        )
+        assert len(runs) == 1 and records[0]["ok"]
+        run = runs[0]
+        # Everything except wall-clock timing must match the in-process
+        # run exactly — isolation may not change any answer.
+        assert run.stats == serial_run.stats
+        assert run.num_vars == serial_run.num_vars
+        assert run.paths == serial_run.paths
+        assert run.alg3_iterations == serial_run.alg3_iterations
+        assert run.refinement == serial_run.refinement
+        assert run.escape_summary == serial_run.escape_summary
+        assert run.degraded == serial_run.degraded
+
+    def test_overhead_recorded(self):
+        runs, records = run_corpus_supervised(
+            names=[ENTRY], jobs=1, retries=0, verbose=False
+        )
+        rec = records[0]
+        assert rec["ok"]
+        assert rec["wall_seconds"] > 0
+        assert rec["isolation_overhead_s"] >= 0
+        assert rec["solve_seconds"] <= rec["wall_seconds"]
+
+    def test_poisoned_entry_does_not_stop_corpus(self):
+        runs, records = run_corpus_supervised(
+            names=[ENTRY, "jetty"], jobs=2, retries=0, verbose=False,
+            entry_env={"jetty": {"REPRO_FAULT": "abort@solver.stratum"}},
+        )
+        assert [r.name for r in runs] == [ENTRY]
+        by_name = {r["name"]: r for r in records}
+        assert by_name[ENTRY]["ok"]
+        assert not by_name["jetty"]["ok"]
+        assert by_name["jetty"]["classification"] == "abort"

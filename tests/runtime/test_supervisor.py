@@ -1,0 +1,424 @@
+"""The process supervisor: fault matrix, retries, recovery, and the pool.
+
+Every injected fault kind is driven through the real subprocess path and
+must come back as a *structured* classification — never a raw traceback,
+never a hung parent.  The backoff schedule is tested with an injected
+clock (no real sleeps); only the hang test pays real wall time, bounded
+by its sub-second deadline.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.runtime import WorkerCrashed, WorkerKilled
+from repro.runtime import faults
+from repro.runtime.faults import FaultSpecError
+from repro.runtime.supervisor import (
+    AttemptRecord,
+    Supervisor,
+    SupervisorConfig,
+    SupervisedResult,
+    ladder_fallbacks,
+    _last_protocol_line,
+)
+from repro.runtime.worker import WorkerPool, run_job
+
+CLEAN_MJ = """
+class Main {
+    static method main() {
+        a = new Object;
+        b = a;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mj"
+    path.write_text(CLEAN_MJ)
+    return str(path)
+
+
+def probe_job(fault=None, **extra):
+    job = {"kind": "probe", "echo": "x", **extra}
+    if fault:
+        job["env"] = {"REPRO_FAULT": fault}
+    return job
+
+
+def fast_config(**kw):
+    kw.setdefault("timeout", 60)
+    kw.setdefault("retries", 0)
+    kw.setdefault("backoff_base", 0.0)
+    kw.setdefault("jitter", 0.0)
+    return SupervisorConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# Fault spec grammar
+# ----------------------------------------------------------------------
+
+
+class TestFaultSpecs:
+    def test_parse_basic(self):
+        (f,) = faults.parse_spec("exception@probe")
+        assert (f.kind, f.site, f.after, f.max_attempt) == (
+            "exception", "probe", 1, None,
+        )
+
+    def test_parse_hits_and_attempt(self):
+        (f,) = faults.parse_spec("oom@bdd.mk#7~2")
+        assert (f.kind, f.site, f.after, f.max_attempt) == ("oom", "bdd.mk", 7, 2)
+
+    def test_parse_multiple(self):
+        specs = faults.parse_spec("exception@probe,hang@solver.stratum#3")
+        assert [f.site for f in specs] == ["probe", "solver.stratum"]
+
+    @pytest.mark.parametrize(
+        "bad", ["nope@probe", "exception", "exception@", "oom@x#zero", "oom@x#0"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            faults.parse_spec(bad)
+
+    def test_attempt_bound_filters(self):
+        try:
+            faults.arm("exception@probe~1", attempt=0)
+            assert faults.armed
+            faults.arm("exception@probe~1", attempt=1)
+            assert not faults.armed
+        finally:
+            faults.disarm()
+
+    def test_fire_waits_for_hit_count(self):
+        try:
+            faults.arm("exception@probe#3", attempt=0)
+            faults.fire("probe")
+            faults.fire("probe")
+            with pytest.raises(faults.FaultError):
+                faults.fire("probe")
+        finally:
+            faults.disarm()
+
+    def test_disarmed_fire_is_noop(self):
+        faults.disarm()
+        faults.fire("probe")  # must not raise
+
+
+# ----------------------------------------------------------------------
+# The classification matrix (real subprocesses)
+# ----------------------------------------------------------------------
+
+
+class TestClassification:
+    def test_success(self):
+        result = Supervisor(fast_config()).run(probe_job())
+        assert isinstance(result, SupervisedResult)
+        assert result.ok and not result.degraded
+        assert result.value["echo"] == "x"
+        assert result.retries == 0
+        assert result.attempts[0].classification == "ok"
+        assert result.attempts[0].exit_code == 0
+
+    def test_clean_exception(self):
+        with pytest.raises(WorkerCrashed) as info:
+            Supervisor(fast_config()).run(probe_job("exception@probe"))
+        err = info.value
+        assert err.classification == "exception"
+        assert err.exit_code == 1
+        assert len(err.attempts) == 1
+        assert "FaultError" in err.attempts[0]["message"] or "injected" in (
+            err.attempts[0]["message"]
+        )
+
+    def test_hard_abort(self):
+        with pytest.raises(WorkerCrashed) as info:
+            Supervisor(fast_config()).run(probe_job("abort@probe"))
+        err = info.value
+        assert err.classification == "abort"
+        assert err.term_signal == 6  # SIGABRT
+
+    def test_oom_under_rlimit(self):
+        config = fast_config(memory_limit_mb=192)
+        with pytest.raises(WorkerCrashed) as info:
+            Supervisor(config).run(probe_job("oom@probe"))
+        # Under RLIMIT_AS the allocator fails inside the child, which
+        # still manages a structured protocol message.
+        assert info.value.classification == "oom"
+
+    def test_hang_escalates_to_sigkill(self):
+        config = fast_config(timeout=0.8, grace=0.2)
+        with pytest.raises(WorkerKilled) as info:
+            Supervisor(config).run(probe_job("hang@probe"))
+        err = info.value
+        assert err.classification == "hang"
+        assert err.term_signal == 9  # SIGKILL: SIGTERM was ignored
+        assert err.attempts[0]["escalated"] is True
+
+    def test_fault_seam_bdd_mk(self):
+        with pytest.raises(WorkerCrashed) as info:
+            Supervisor(fast_config()).run(
+                {"kind": "solve_tc", "chain": 12,
+                 "env": {"REPRO_FAULT": "exception@bdd.mk"}}
+            )
+        assert info.value.classification == "exception"
+
+    def test_fault_seam_solver_stratum(self):
+        with pytest.raises(WorkerCrashed) as info:
+            Supervisor(fast_config()).run(
+                {"kind": "solve_tc", "chain": 12,
+                 "env": {"REPRO_FAULT": "exception@solver.stratum"}}
+            )
+        assert info.value.classification == "exception"
+
+    def test_solve_tc_success(self):
+        result = Supervisor(fast_config()).run({"kind": "solve_tc", "chain": 10})
+        assert result.value["paths"] == 55
+        assert result.value["peak_nodes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Retry schedule (injected clock — no real sleeping)
+# ----------------------------------------------------------------------
+
+
+class _FailingSupervisor(Supervisor):
+    """Fails the first ``failures`` attempts without spawning processes."""
+
+    def __init__(self, config, failures, **kw):
+        super().__init__(config, **kw)
+        self._failures = failures
+
+    def run_attempt(self, job, attempt=0):
+        if attempt < self._failures:
+            return AttemptRecord(
+                mode=job.get("mode", "full"), attempt=attempt,
+                classification="crash", exit_code=3,
+            )
+        return AttemptRecord(
+            mode=job.get("mode", "full"), attempt=attempt,
+            classification="ok", exit_code=0, result={"attempt": attempt},
+        )
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        sleeps = []
+        config = SupervisorConfig(
+            retries=3, backoff_base=0.5, backoff_factor=2.0, jitter=0.0
+        )
+        sup = _FailingSupervisor(config, failures=3, sleep=sleeps.append)
+        result = sup.run({"kind": "probe"})
+        assert result.ok and result.retries == 3
+        assert sleeps == [0.5, 1.0, 2.0]
+        assert [a.backoff for a in result.attempts] == [0.5, 1.0, 2.0, None]
+
+    def test_backoff_cap(self):
+        sleeps = []
+        config = SupervisorConfig(
+            retries=4, backoff_base=10.0, backoff_factor=10.0,
+            backoff_max=30.0, jitter=0.0,
+        )
+        sup = _FailingSupervisor(config, failures=4, sleep=sleeps.append)
+        sup.run({"kind": "probe"})
+        assert sleeps == [10.0, 30.0, 30.0, 30.0]
+
+    def test_jitter_stretches_delay(self):
+        class FixedRng:
+            @staticmethod
+            def random():
+                return 1.0
+
+        sleeps = []
+        config = SupervisorConfig(
+            retries=1, backoff_base=1.0, backoff_factor=2.0, jitter=0.25
+        )
+        sup = _FailingSupervisor(
+            config, failures=1, sleep=sleeps.append, rng=FixedRng()
+        )
+        sup.run({"kind": "probe"})
+        assert sleeps == [1.25]
+
+    def test_no_sleep_after_final_failure(self):
+        sleeps = []
+        config = SupervisorConfig(retries=2, backoff_base=0.5, jitter=0.0)
+        sup = _FailingSupervisor(config, failures=99, sleep=sleeps.append)
+        with pytest.raises(WorkerCrashed) as info:
+            sup.run({"kind": "probe"})
+        assert len(info.value.attempts) == 3
+        assert sleeps == [0.5, 1.0]  # none after the last attempt
+
+    def test_retry_recovers(self):
+        config = SupervisorConfig(retries=2, backoff_base=0.0, jitter=0.0)
+        sup = _FailingSupervisor(config, failures=2, sleep=lambda _ : None)
+        result = sup.run({"kind": "probe"})
+        assert result.ok
+        assert [a.classification for a in result.attempts] == [
+            "crash", "crash", "ok",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Degradation step-down and checkpoint recovery (real subprocesses)
+# ----------------------------------------------------------------------
+
+
+def _stratum_hits(facts):
+    """Count solver.stratum site arrivals for the call-graph phase and a
+    whole full rung, so fault hit counts can be planted *inside* the
+    context-sensitive solve regardless of how the programs evolve."""
+    from repro.analysis import ContextSensitiveAnalysis
+
+    try:
+        faults.arm("exception@solver.stratum#999999999", attempt=0)
+        analysis = ContextSensitiveAnalysis(facts=facts, degrade=False)
+        analysis._obtain_call_graph()
+        ci_hits = faults._SITES["solver.stratum"].hits
+        faults.arm("exception@solver.stratum#999999999", attempt=0)
+        ContextSensitiveAnalysis(facts=facts, degrade=False).run_rung("full")
+        total = faults._SITES["solver.stratum"].hits
+    finally:
+        faults.disarm()
+    return ci_hits, total
+
+
+@pytest.fixture(scope="module")
+def clean_facts():
+    from repro.ir.facts import extract_facts
+    from repro.ir.frontend import parse_program
+
+    return extract_facts(parse_program(CLEAN_MJ, include_library=False))
+
+
+class TestRecovery:
+    def test_ladder_fallbacks_shape(self, clean_file):
+        job = {"kind": "analyze", "program_path": clean_file, "mode": "full"}
+        assert [f["mode"] for f in ladder_fallbacks(job)] == [
+            "truncated", "context_insensitive",
+        ]
+        job["mode"] = "truncated"
+        assert [f["mode"] for f in ladder_fallbacks(job)] == [
+            "context_insensitive",
+        ]
+        job["mode"] = "context_insensitive"
+        assert ladder_fallbacks(job) == []
+
+    def test_step_down_to_truncated(self, clean_file, clean_facts):
+        ci_hits, total = _stratum_hits(clean_facts)
+        assert total - ci_hits > 2, "fault must be plantable in the CS solve"
+        hit = ci_hits + 2
+        # ~1 scopes the fault to attempt 0: the full rung crashes, the
+        # truncated fallback (attempt 1) runs clean.
+        job = {
+            "kind": "analyze", "program_path": clean_file,
+            "no_library": True, "context_sensitive": True, "mode": "full",
+            "env": {"REPRO_FAULT": f"exception@solver.stratum#{hit}~1"},
+        }
+        sup = Supervisor(fast_config())
+        result = sup.run(job, fallbacks=ladder_fallbacks(job))
+        assert result.ok and result.degraded
+        assert result.mode == "truncated"
+        assert [a.classification for a in result.attempts] == [
+            "exception", "ok",
+        ]
+
+    def test_checkpoint_resume_across_retry(
+        self, clean_file, clean_facts, tmp_path
+    ):
+        ref = Supervisor(fast_config()).run(
+            {
+                "kind": "analyze", "program_path": clean_file,
+                "no_library": True, "context_sensitive": True, "mode": "full",
+            }
+        )
+        ci_hits, total = _stratum_hits(clean_facts)
+        hit = ci_hits + (total - ci_hits) // 2 + 1
+        ckdir = tmp_path / "ckpt"
+        job = {
+            "kind": "analyze", "program_path": clean_file,
+            "no_library": True, "context_sensitive": True, "mode": "full",
+            "checkpoint_dir": str(ckdir),
+            "env": {"REPRO_FAULT": f"exception@solver.stratum#{hit}~1"},
+        }
+        result = Supervisor(fast_config(retries=1)).run(job)
+        # Attempt 0 crashed mid-solve after checkpointing; attempt 1
+        # resumed from that checkpoint and produced the same answer.
+        assert [a.classification for a in result.attempts] == [
+            "exception", "ok",
+        ]
+        assert result.value["resumed"] is True
+        assert result.value["tuples"] == ref.value["tuples"]
+        # The checkpoint was consumed by the successful attempt.
+        assert not (ckdir / "context_sensitive.ckpt").exists()
+
+    def test_crash_reports_written(self, tmp_path):
+        crash_dir = tmp_path / "crashes"
+        config = fast_config(retries=1, crash_dir=str(crash_dir))
+        with pytest.raises(WorkerCrashed):
+            Supervisor(config).run(probe_job("exception@probe"))
+        reports = sorted(crash_dir.glob("crash-*.json"))
+        assert len(reports) == 2  # one per failed attempt
+        data = json.loads(reports[0].read_text())
+        assert data["attempt"]["classification"] == "exception"
+        assert data["job"]["kind"] == "probe"
+
+
+# ----------------------------------------------------------------------
+# Worker protocol and pool
+# ----------------------------------------------------------------------
+
+
+class TestWorkerProtocol:
+    def test_run_job_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            run_job({"kind": "frobnicate"})
+
+    def test_last_protocol_line_skips_garbage(self):
+        out = b'noise\n{"not": "protocol"}\n{"ok": true, "result": 1}\ntrailing'
+        assert _last_protocol_line(out) == {"ok": True, "result": 1}
+
+    def test_last_protocol_line_empty(self):
+        assert _last_protocol_line(b"") is None
+        assert _last_protocol_line(b"garbage only\n") is None
+
+    def test_stray_stdout_does_not_break_protocol(self):
+        # A job that prints goes to stderr (stdout is reserved), but even
+        # hostile stdout noise is survivable thanks to last-line-wins.
+        result = Supervisor(fast_config()).run(probe_job())
+        assert result.ok
+
+
+class TestWorkerPool:
+    def test_poisoned_entry_does_not_stop_others(self):
+        jobs = [
+            probe_job(echo=0),
+            probe_job("abort@probe", echo=1),
+            probe_job(echo=2),
+        ]
+        for i, job in enumerate(jobs):
+            job["echo"] = i
+        pool = WorkerPool(Supervisor(fast_config()), jobs=2)
+        results = pool.run(jobs)
+        assert len(results) == 3
+        assert results[0].ok and results[0].value["echo"] == 0
+        assert isinstance(results[1], WorkerCrashed)
+        assert results[1].classification == "abort"
+        assert results[2].ok and results[2].value["echo"] == 2
+
+    def test_serial_pool(self):
+        pool = WorkerPool(Supervisor(fast_config()), jobs=1)
+        results = pool.run([probe_job(echo=i) for i in range(2)])
+        assert [r.value["echo"] for r in results] == [0, 1]
+
+    def test_results_order_preserved(self):
+        jobs = []
+        for i in range(4):
+            job = probe_job()
+            job["echo"] = i
+            jobs.append(job)
+        pool = WorkerPool(Supervisor(fast_config()), jobs=3)
+        results = pool.run(jobs)
+        assert [r.value["echo"] for r in results] == [0, 1, 2, 3]

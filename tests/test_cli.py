@@ -258,3 +258,73 @@ class TestBudgetFlags:
         )
         assert code == 75
         assert "budget exhausted" in capsys.readouterr().err
+
+
+class TestIsolate:
+    """``--isolate``: supervised worker processes behind the CLI."""
+
+    def test_isolated_analyze_matches_in_process(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--no-library",
+                     "--context-sensitive"]) == 0
+        in_process = capsys.readouterr().out
+        assert main(["analyze", clean_file, "--no-library",
+                     "--context-sensitive", "--isolate"]) == 0
+        isolated = capsys.readouterr().out
+        # Same tuple count and call paths, give or take timing text.
+        assert "3 tuples" in isolated
+        assert "1 call paths" in isolated
+        assert "3 (context, variable, heap) tuples" in in_process
+
+    def test_multi_program_parallel(self, clean_file, vulnerable_file, capsys):
+        code = main(["analyze", clean_file, vulnerable_file,
+                     "--context-sensitive", "--isolate", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("points-to") == 2
+        # Order matches the command line, not completion order.
+        assert out.index(clean_file) < out.index(vulnerable_file)
+
+    def test_crashed_worker_exit_70(self, clean_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "abort@solver.stratum")
+        code = main(["analyze", clean_file, "--no-library",
+                     "--context-sensitive", "--isolate", "--no-degrade",
+                     "--retries", "0"])
+        assert code == 70
+        err = capsys.readouterr().err
+        assert "worker failed (abort)" in err
+        assert "Traceback" not in err
+
+    def test_crash_steps_down_ladder(self, clean_file, capsys, monkeypatch):
+        # Faults scoped to attempt 0 kill the full rung; the supervisor
+        # steps down and the fallback answers.
+        monkeypatch.setenv("REPRO_FAULT", "abort@solver.stratum#25~1")
+        code = main(["analyze", clean_file, "--no-library",
+                     "--context-sensitive", "--isolate", "--retries", "0"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "degraded to mode=" in captured.err
+
+    def test_poisoned_program_does_not_stop_others(
+        self, clean_file, vulnerable_file, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "gone.mj")
+        code = main(["analyze", clean_file, missing, vulnerable_file,
+                     "--context-sensitive", "--isolate", "--jobs", "2",
+                     "--no-degrade", "--retries", "0"])
+        assert code == 70
+        captured = capsys.readouterr()
+        assert captured.out.count("points-to") == 2
+        assert "worker failed" in captured.err
+
+    def test_dump_dir_rejected_with_multiple_programs(
+        self, clean_file, vulnerable_file, tmp_path, capsys
+    ):
+        code = main(["analyze", clean_file, vulnerable_file,
+                     "--dump-dir", str(tmp_path / "out")])
+        assert code == 2
+
+    def test_memory_limit_flag_accepted(self, clean_file, capsys):
+        code = main(["analyze", clean_file, "--no-library", "--isolate",
+                     "--memory-limit", "1024"])
+        assert code == 0
+        assert "points-to" in capsys.readouterr().out
