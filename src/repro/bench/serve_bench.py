@@ -1,0 +1,408 @@
+"""Benchmark the serve subsystem: compile cost vs. demand-query cost.
+
+Measures, per corpus entry:
+
+* **compile** — full solve + ``.ptdb`` write (the once-per-program cost),
+* **cold load** — ``PointsToDatabase.load`` (per-process startup cost),
+* **solve baseline** — what ``repro query`` without ``--db`` pays per
+  question (a fresh end-to-end solve),
+* **warm latency** — per-query p50/p95/p99 through the in-process
+  engine once caches are warm, and the speedup over the solve baseline,
+* **throughput** — queries/sec through a *real server subprocess* at
+  1/4/8 concurrent clients, cache-on and cache-off,
+* **capacity** — the zero-think-time saturation ceiling (open loop).
+
+The server runs as a subprocess (its own interpreter, so client and
+server do not share a GIL) and each client is its own OS process
+sending pre-encoded request lines and counting newline-delimited
+responses — the measurement is the protocol round trip, not Python
+string formatting.
+
+Throughput uses a *closed-loop model with think time* (the standard
+TPC/YCSB shape): each client waits ``think_s`` between queries, like an
+interactive session.  A single client is then latency-bound, and the
+1/4/8-client sweep measures whether the server actually multiplexes
+connections — a serial accept-then-serve server would stay flat while a
+concurrent one scales ~linearly until it nears the saturation capacity,
+which is reported separately (``capacity``, think time zero).  On a
+single-core host a zero-think closed loop cannot scale by construction
+(one client already saturates the CPU shared by client and server), so
+conflating the two numbers would make the sweep meaningless.
+
+Output: ``results/BENCH_serve.json``.  Run as::
+
+    python -m repro.bench.serve_bench --entries freetts --duration 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..serve import PointsToDatabase, QueryEngine, compile_database
+from ..serve.metrics import percentile
+from ..serve.protocol import encode
+from .corpus import corpus_entry
+
+__all__ = ["run_serve_bench", "main"]
+
+_DEFAULT_ENTRIES = ("freetts",)
+_DEFAULT_THREADS = (1, 4, 8)
+_WARM_QUERIES = 400
+_DEFAULT_THINK_S = 0.001
+
+
+def _sample_queries(db: PointsToDatabase, count: int = 16) -> List[Dict[str, Any]]:
+    """A rotating pool of distinct demand queries drawn from the db."""
+    queries: List[Dict[str, Any]] = []
+    var_specs = sorted(db.var_reps)
+    methods = db.maps.get("M", [])
+    heaps = db.maps.get("H", [])
+    for spec in var_specs[: count // 2]:
+        queries.append({"kind": "points-to", "args": {"variable": spec}})
+    for name in methods[: count // 4]:
+        queries.append({"kind": "callers", "args": {"method": name}})
+    for name in heaps[: count // 4]:
+        queries.append({"kind": "escape", "args": {"heap": name}})
+    return queries or [{"kind": "escape", "args": {"heap": heaps[0]}}]
+
+
+def _bench_warm_latency(
+    engine: QueryEngine, queries: Sequence[Dict[str, Any]], rounds: int
+) -> Dict[str, float]:
+    # Prime the cache, then measure round-robin over the cached set.
+    for q in queries:
+        engine.query(q["kind"], q["args"])
+    samples: List[float] = []
+    for i in range(rounds):
+        q = queries[i % len(queries)]
+        t0 = time.perf_counter()
+        engine.query(q["kind"], q["args"])
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "queries": rounds,
+        "p50_s": percentile(samples, 50),
+        "p95_s": percentile(samples, 95),
+        "p99_s": percentile(samples, 99),
+        "mean_s": sum(samples) / len(samples),
+    }
+
+
+class _ServerProcess:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, db_path: str, cache_size: int = 4096) -> None:
+        env = dict(os.environ)
+        src_root = str(pathlib.Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--db", db_path, "--port", "0",
+                "--cache-size", str(cache_size),
+                "--max-connections", "64",
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        assert self.proc.stderr is not None
+        line = self.proc.stderr.readline()
+        match = re.search(r"on ([\d.]+):(\d+)", line)
+        if not match:
+            self.proc.kill()
+            raise RuntimeError(f"server did not announce a port: {line!r}")
+        self.host, self.port = match.group(1), int(match.group(2))
+        # Drain stderr in the background so the server never blocks on a
+        # full pipe.
+        self._drain = threading.Thread(
+            target=self.proc.stderr.read, daemon=True
+        )
+        self._drain.start()
+
+    def stop(self) -> None:
+        try:
+            with socket.create_connection((self.host, self.port), timeout=5) as s:
+                s.sendall(encode({"id": 0, "verb": "shutdown"}))
+                s.recv(4096)
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+    def __enter__(self) -> "_ServerProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _client_worker(host, port, wire_requests, slot, duration, think,
+                   barrier, queue):
+    """One benchmark client: loop pre-encoded requests, count responses.
+
+    Runs in its *own process* (see :func:`_throughput`) so N clients
+    measure the server's concurrency, not the bench process's GIL.
+    A non-zero ``think`` sleeps between queries (closed loop with think
+    time); zero hammers the server flat out (saturation).
+    """
+    n = 0
+    errors = 0
+    try:
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = sock.makefile("rb")
+            requests = list(wire_requests[slot % len(wire_requests):]) + \
+                list(wire_requests[: slot % len(wire_requests)])
+            barrier.wait()
+            deadline = time.perf_counter() + duration
+            i = 0
+            while time.perf_counter() < deadline:
+                sock.sendall(requests[i % len(requests)])
+                line = reader.readline()
+                if not line:
+                    break
+                if b'"ok":true' in line:
+                    n += 1
+                else:
+                    errors += 1
+                i += 1
+                if think > 0:
+                    time.sleep(think)
+    except OSError:
+        pass
+    queue.put((slot, n, errors))
+
+
+def _throughput(
+    host: str,
+    port: int,
+    wire_requests: Sequence[bytes],
+    clients: int,
+    duration: float,
+    think: float = 0.0,
+) -> Dict[str, float]:
+    """Drive the server from ``clients`` concurrent connections.
+
+    Each client is a separate OS process (server and clients already
+    don't share a GIL; neither should the clients share one with each
+    other), started behind a barrier so the timed window is honest.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(clients + 1)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_client_worker,
+            args=(host, port, list(wire_requests), slot, duration, think,
+                  barrier, queue),
+            daemon=True,
+        )
+        for slot in range(clients)
+    ]
+    for p in procs:
+        p.start()
+    barrier.wait()
+    start = time.perf_counter()
+    results = [queue.get(timeout=duration + 60) for _ in procs]
+    elapsed = time.perf_counter() - start
+    for p in procs:
+        p.join(timeout=10)
+    total = sum(n for _, n, _ in results)
+    return {
+        "threads": clients,
+        "requests": total,
+        "errors": sum(e for _, _, e in results),
+        "seconds": round(elapsed, 3),
+        "qps": round(total / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+
+
+def _wire_requests(
+    queries: Sequence[Dict[str, Any]], no_cache: bool
+) -> List[bytes]:
+    out = []
+    for i, q in enumerate(queries):
+        request = {"id": i, "verb": "query", "kind": q["kind"], "args": q["args"]}
+        if no_cache:
+            request["no_cache"] = True
+        out.append(encode(request))
+    return out
+
+
+def bench_entry(
+    name: str,
+    *,
+    threads: Sequence[int] = _DEFAULT_THREADS,
+    duration: float = 2.0,
+    think: float = _DEFAULT_THINK_S,
+    workdir: Optional[str] = None,
+) -> Dict[str, Any]:
+    program = corpus_entry(name).build()
+
+    t0 = time.perf_counter()
+    db = compile_database(program)
+    solve_s = time.perf_counter() - t0
+
+    directory = pathlib.Path(workdir) if workdir else pathlib.Path(".")
+    db_path = str(directory / f"{name}.ptdb")
+    t0 = time.perf_counter()
+    db.save(db_path)
+    save_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    loaded = PointsToDatabase.load(db_path)
+    cold_load_s = time.perf_counter() - t0
+
+    queries = _sample_queries(loaded)
+    engine = QueryEngine(loaded, cache_size=4096)
+    warm = _bench_warm_latency(engine, queries, _WARM_QUERIES)
+    # ``repro query`` without --db re-solves the program per question;
+    # the compile measurement above is exactly that solve.
+    speedup = solve_s / warm["p50_s"] if warm["p50_s"] > 0 else float("inf")
+
+    throughput: Dict[str, Any] = {}
+    capacity: Dict[str, Any] = {}
+    with _ServerProcess(db_path) as server:
+        for mode, no_cache in (("cache_on", False), ("cache_off", True)):
+            wire = _wire_requests(queries, no_cache)
+            if not no_cache:
+                # Prime the server-side cache outside the timed window.
+                with socket.create_connection(
+                    (server.host, server.port), timeout=10
+                ) as sock:
+                    reader = sock.makefile("rb")
+                    for line in wire:
+                        sock.sendall(line)
+                        reader.readline()
+            throughput[mode] = {
+                str(t): _throughput(
+                    server.host, server.port, wire, t, duration, think
+                )
+                for t in threads
+            }
+            # Saturation ceiling: zero think time, mid-size client pool.
+            capacity[mode] = _throughput(
+                server.host, server.port, wire, min(4, max(threads)),
+                duration, 0.0,
+            )
+
+    qps_on = {t: throughput["cache_on"][str(t)]["qps"] for t in threads}
+    scaling = (
+        qps_on[max(threads)] / qps_on[min(threads)]
+        if qps_on[min(threads)] > 0 else 0.0
+    )
+    return {
+        "entry": name,
+        "db_id": loaded.db_id,
+        "db_bytes": pathlib.Path(db_path).stat().st_size,
+        "compile": {"solve_s": round(solve_s, 4), "save_s": round(save_s, 4)},
+        "cold_load_s": round(cold_load_s, 4),
+        "solve_baseline_s": round(solve_s, 4),
+        "warm_latency": {k: round(v, 7) for k, v in warm.items()},
+        "speedup_warm_vs_resolve": round(speedup, 1),
+        "think_s": think,
+        "throughput": throughput,
+        "capacity": capacity,
+        "scaling_max_vs_min_threads": round(scaling, 2),
+    }
+
+
+def run_serve_bench(
+    entries: Sequence[str] = _DEFAULT_ENTRIES,
+    *,
+    threads: Sequence[int] = _DEFAULT_THREADS,
+    duration: float = 2.0,
+    think: float = _DEFAULT_THINK_S,
+    out: str = "results/BENCH_serve.json",
+    workdir: Optional[str] = None,
+) -> Dict[str, Any]:
+    results = {}
+    for name in entries:
+        print(f"== {name} ==", file=sys.stderr)
+        results[name] = bench_entry(
+            name, threads=threads, duration=duration, think=think,
+            workdir=workdir,
+        )
+        r = results[name]
+        print(
+            f"  solve {r['solve_baseline_s']:.2f}s, load "
+            f"{r['cold_load_s'] * 1e3:.1f}ms, warm p50 "
+            f"{r['warm_latency']['p50_s'] * 1e6:.0f}us "
+            f"({r['speedup_warm_vs_resolve']:.0f}x), scaling "
+            f"{r['scaling_max_vs_min_threads']:.2f}x",
+            file=sys.stderr,
+        )
+    report = {
+        "benchmark": "serve",
+        "threads": list(threads),
+        "duration_s": duration,
+        "think_s": think,
+        "entries": results,
+    }
+    out_path = pathlib.Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.serve_bench",
+        description="Benchmark the points-to database + query server",
+    )
+    parser.add_argument(
+        "--entries", nargs="+", default=list(_DEFAULT_ENTRIES),
+        help="corpus entries to benchmark (default: freetts)",
+    )
+    parser.add_argument(
+        "--threads", nargs="+", type=int, default=list(_DEFAULT_THREADS),
+        help="client thread counts (default: 1 4 8)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds per throughput window (default 2)",
+    )
+    parser.add_argument(
+        "--think", type=float, default=_DEFAULT_THINK_S,
+        help="client think time between queries in seconds "
+             "(default 0.001; 0 = saturation mode)",
+    )
+    parser.add_argument(
+        "--out", default="results/BENCH_serve.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for .ptdb scratch files (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+    run_serve_bench(
+        args.entries,
+        threads=args.threads,
+        duration=args.duration,
+        think=args.think,
+        out=args.out,
+        workdir=args.workdir,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

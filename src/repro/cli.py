@@ -14,6 +14,15 @@
     python -m repro query    program.mj --kind devirt
     python -m repro query    program.mj --kind refinement
     python -m repro datalog  rules.dl --facts facts/ --out out/
+    python -m repro compile-db program.mj --out program.ptdb
+    python -m repro serve    --db program.ptdb --port 7777
+    python -m repro query    --db program.ptdb --kind points-to --var Main.main:x
+    python -m repro query    --db program.ptdb --kind aliases --var Main.main:x \
+                             --var2 Main.main:y
+    python -m repro query    --db program.ptdb --kind mod-ref --method A.run
+    python -m repro query    --db program.ptdb --kind callers --method A.run
+    python -m repro query    --db program.ptdb --kind escape --heap \
+                             'Main.main@3:new A'
 
 ``program.mj`` is mini-Java source (see :mod:`repro.ir.frontend`); the
 modeled class library is linked in unless ``--no-library`` is given.
@@ -42,8 +51,11 @@ module is a bug (covered by ``tests/test_cli.py``).
 from __future__ import annotations
 
 import argparse
+import hashlib
+import os
 import pathlib
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -165,7 +177,7 @@ def _cmd_analyze_isolated(args, paths: List[str]) -> int:
         SupervisorConfig,
         ladder_fallbacks,
     )
-    from .runtime.worker import WorkerPool
+    from .runtime.worker import WorkerPool, default_jobs
 
     jobs = []
     for path in paths:
@@ -201,7 +213,8 @@ def _cmd_analyze_isolated(args, paths: List[str]) -> int:
     fallbacks = None
     if args.context_sensitive and not args.no_degrade:
         fallbacks = ladder_fallbacks
-    results = WorkerPool(supervisor, jobs=args.jobs).run(
+    pool_jobs = args.jobs if args.jobs is not None else default_jobs()
+    results = WorkerPool(supervisor, jobs=pool_jobs).run(
         jobs, fallbacks=fallbacks
     )
     code = EXIT_OK
@@ -299,7 +312,116 @@ def _analyze_one(args, path: str) -> int:
     return EXIT_OK
 
 
+# Query kinds answered from a compiled database (point lookups) versus
+# kinds that need a fresh solve of the whole program.  ``escape`` appears
+# in both: with --db it is a per-heap verdict, without it the full report.
+_DEMAND_KINDS = ("points-to", "aliases", "mod-ref", "callers")
+_SOLVE_KINDS = ("escape", "casts", "devirt", "refinement", "vuln")
+
+_QUERY_ERROR_EXITS = {
+    "bad-argument": EXIT_USAGE,
+    "unknown-query": EXIT_USAGE,
+    "not-found": EXIT_DATAERR,
+    "unsupported": EXIT_DATAERR,
+    "budget-exceeded": EXIT_BUDGET,
+}
+
+
 def _cmd_query(args) -> int:
+    if args.db:
+        return _query_db(args)
+    if args.kind in _DEMAND_KINDS:
+        print(
+            f"repro: --kind {args.kind} is a demand query; compile the "
+            f"program first ('repro compile-db') and pass --db",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.program is None:
+        print("repro: query without --db needs a program file", file=sys.stderr)
+        return EXIT_USAGE
+    start = time.monotonic()
+    code = _query_solve(args)
+    elapsed = time.monotonic() - start
+    print(
+        f"repro: solved the whole program in {elapsed:.2f}s to answer one "
+        f"query; run 'repro compile-db {args.program}' once and pass --db "
+        f"to make queries instant",
+        file=sys.stderr,
+    )
+    return code
+
+
+def _query_db(args) -> int:
+    """Answer a demand query from a compiled ``.ptdb`` (no solving)."""
+    from .serve import PointsToDatabase, QueryEngine, QueryError
+
+    if args.kind not in _DEMAND_KINDS + ("escape",):
+        print(
+            f"repro: --kind {args.kind} needs a fresh solve and cannot be "
+            f"answered from --db (give the program file instead)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    db = PointsToDatabase.load(args.db)
+    engine = QueryEngine(db, default_timeout=args.timeout)
+    query_args = {}
+    if args.kind == "points-to":
+        query_args["variable"] = args.var
+        if args.context is not None:
+            query_args["context"] = args.context
+    elif args.kind == "aliases":
+        query_args["variable1"] = args.var
+        query_args["variable2"] = args.var2
+    elif args.kind == "mod-ref":
+        query_args["method"] = args.method
+        if args.context is not None:
+            query_args["context"] = args.context
+    elif args.kind == "callers":
+        query_args["method"] = args.method
+    elif args.kind == "escape":
+        query_args["heap"] = args.heap
+    try:
+        result = engine.query(args.kind, query_args)
+    except QueryError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return _QUERY_ERROR_EXITS.get(err.code, EXIT_DATAERR)
+    _print_query_result(args.kind, result)
+    return EXIT_OK
+
+
+def _print_query_result(kind: str, result: dict) -> None:
+    if kind == "points-to":
+        where = (
+            f" (context {result['context']})"
+            if result.get("context") is not None else ""
+        )
+        print(f"{result['variable']}{where} -> {result['count']} objects")
+        for heap in result["heaps"]:
+            print(f"  {heap}")
+    elif kind == "aliases":
+        verdict = "may alias" if result["may_alias"] else "no alias"
+        print(f"{result['variable1']} / {result['variable2']}: {verdict}")
+        for heap in result["common_heaps"]:
+            print(f"  common: {heap}")
+    elif kind == "mod-ref":
+        print(
+            f"{result['method']}: mod {len(result['mod'])}, "
+            f"ref {len(result['ref'])}"
+        )
+        for heap, field in result["mod"]:
+            print(f"  mod: {heap}.{field}")
+        for heap, field in result["ref"]:
+            print(f"  ref: {heap}.{field}")
+    elif kind == "callers":
+        print(f"{result['method']}: {result['count']} call sites")
+        for entry in result["callers"]:
+            print(f"  {entry['site']}")
+    elif kind == "escape":
+        print(f"{result['heap']}: {result['verdict']}")
+
+
+def _query_solve(args) -> int:
     program, facts = _load(args)
     budget = _budget_of(args)
     if args.kind == "escape":
@@ -414,6 +536,59 @@ def _cmd_datalog(args) -> int:
     return EXIT_OK
 
 
+def _cmd_compile_db(args) -> int:
+    """Solve once and persist the result as a ``.ptdb`` database."""
+    from .serve import compile_database
+
+    source_text = pathlib.Path(args.program).read_text()
+    program = parse_program(
+        source_text, main=args.main, include_library=not args.no_library
+    )
+    out = args.out or str(pathlib.Path(args.program).with_suffix(".ptdb"))
+    start = time.monotonic()
+    db = compile_database(
+        program,
+        source_path=args.program,
+        source_sha256=hashlib.sha256(source_text.encode()).hexdigest(),
+        main=args.main,
+        modref=not args.no_modref,
+        budget=_budget_of(args),
+    )
+    solve_seconds = time.monotonic() - start
+    nodes = db.save(out)
+    size = pathlib.Path(out).stat().st_size
+    counts = ", ".join(
+        f"{entry['name']} {entry['tuples']}"
+        for entry in db.meta["relations"]
+    )
+    print(
+        f"compiled {args.program} -> {out} "
+        f"({size} bytes, {nodes} BDD nodes, db {db.db_id})"
+    )
+    print(f"  relations: {counts}")
+    print(f"  call paths: {db.meta['paths']}, solve time {solve_seconds:.2f}s")
+    return EXIT_OK
+
+
+def _cmd_serve(args) -> int:
+    """Serve demand queries for a compiled database over TCP."""
+    from .serve import PointsToDatabase, PointsToServer
+
+    db = PointsToDatabase.load(args.db)
+    server = PointsToServer(
+        db,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        default_timeout=args.timeout,
+        max_connections=args.max_connections,
+        max_requests_per_connection=args.max_requests,
+        idle_timeout=args.idle_timeout,
+    )
+    server.serve_forever()
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -435,10 +610,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-stratum fixpoint iteration cap",
         )
 
-    def common(p, multi=False):
+    def common(p, multi=False, optional=False):
         if multi:
             p.add_argument(
                 "program", nargs="+", help="mini-Java source file(s)"
+            )
+        elif optional:
+            p.add_argument(
+                "program", nargs="?",
+                help="mini-Java source file (omit when using --db)",
             )
         else:
             p.add_argument("program", help="mini-Java source file")
@@ -480,8 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
         "kill/memory enforcement (exit 70 on unrecovered crash)",
     )
     p_analyze.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="parallel workers with --isolate (default 1)",
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers with --isolate "
+        "(default: cpu count, capped at the pool bound)",
     )
     p_analyze.add_argument(
         "--retries", type=int, default=2, metavar="N",
@@ -494,11 +675,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_query = sub.add_parser("query", help="run a Section 5 style query")
-    common(p_query)
+    common(p_query, optional=True)
     p_query.add_argument(
         "--kind",
         required=True,
-        choices=["escape", "casts", "devirt", "refinement", "vuln"],
+        choices=sorted(set(_SOLVE_KINDS) | set(_DEMAND_KINDS)),
+    )
+    p_query.add_argument(
+        "--db", metavar="FILE.ptdb",
+        help="answer from a compiled database instead of re-solving",
+    )
+    p_query.add_argument(
+        "--var", metavar="Method.name:var",
+        help="variable for points-to / aliases (with --db)",
+    )
+    p_query.add_argument(
+        "--var2", metavar="Method.name:var",
+        help="second variable for aliases (with --db)",
+    )
+    p_query.add_argument(
+        "--method", metavar="Class.method",
+        help="method for mod-ref / callers (with --db)",
+    )
+    p_query.add_argument(
+        "--heap", metavar="SITE",
+        help="allocation site name for escape (with --db)",
+    )
+    p_query.add_argument(
+        "--context", type=int, metavar="N",
+        help="context number for points-to / mod-ref (with --db)",
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -521,6 +726,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     budget_flags(p_datalog)
     p_datalog.set_defaults(func=_cmd_datalog)
+
+    p_compile = sub.add_parser(
+        "compile-db",
+        help="solve once and write a .ptdb points-to database",
+    )
+    common(p_compile)
+    p_compile.add_argument(
+        "--out", metavar="FILE.ptdb",
+        help="output path (default: program path with .ptdb suffix)",
+    )
+    p_compile.add_argument(
+        "--no-modref", action="store_true",
+        help="skip the mod-ref fragment (smaller db, no mod-ref queries)",
+    )
+    p_compile.set_defaults(func=_cmd_compile_db)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve demand queries for a compiled database"
+    )
+    p_serve.add_argument(
+        "--db", required=True, metavar="FILE.ptdb",
+        help="compiled database to serve",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7777,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="LRU result-cache entries (default 1024)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="default per-query evaluation budget",
+    )
+    p_serve.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="concurrent connection cap (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=100_000, metavar="N",
+        help="requests served per connection before recycling",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="close connections idle for this long (default 300)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -528,6 +782,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # The consumer of our stdout (`head`, `grep -q`, ...) exited
+        # early.  Point stdout at devnull so the interpreter's exit-time
+        # flush cannot raise a second time, and leave quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
     except FileNotFoundError as err:
         name = getattr(err, "filename", None) or err
         print(f"repro: input not found: {name}", file=sys.stderr)

@@ -43,13 +43,25 @@ from typing import Any, Dict, List, Optional, Union
 from ..bdd import BDD, BDDError
 from ..bdd.reorder import rebuild_with_levels
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
-from .errors import CheckpointError
+from .errors import CheckpointError, InvalidInputError
+from .version import check_tool_version, tool_meta
 
-__all__ = ["CheckpointMeta", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointMeta",
+    "FORMAT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 PathLike = Union[str, pathlib.Path]
 
 _MAGIC = "# repro-checkpoint 2"
+
+# ``format`` (2) describes the file *layout* and predates version
+# stamping; ``format_version`` + ``tool`` identify the schema revision
+# and writing tool so cross-version resume fails up front with
+# InvalidInputError instead of a confusing schema mismatch.
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -100,6 +112,8 @@ def save_checkpoint(
     payload_text = "\n".join(payload)
     meta: Dict[str, Any] = {
         "format": 2,
+        "format_version": FORMAT_VERSION,
+        "tool": tool_meta(),
         "relations": schema,
         "levels": _levels_of(solver),
         "num_vars": solver.manager.num_vars,
@@ -168,6 +182,15 @@ def _read_header(path: pathlib.Path):
         raise CheckpointError(
             f"{path}:2: unsupported checkpoint format {meta.get('format')!r}"
         )
+    # Version stamps are newer than the layout marker: files written
+    # before stamping carry neither key and still load.
+    if "format_version" in meta and meta["format_version"] != FORMAT_VERSION:
+        raise InvalidInputError(
+            f"{path}:2: checkpoint format_version {meta['format_version']!r} "
+            f"is not supported (this build reads version {FORMAT_VERSION}; "
+            f"re-run the solve to produce a fresh checkpoint)"
+        )
+    check_tool_version(meta, str(path), "checkpoint")
     if not lines[2].startswith("sha256 "):
         raise CheckpointError(f"{path}:3: missing sha256 record")
     digest = lines[2][len("sha256 "):].strip()

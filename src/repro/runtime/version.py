@@ -1,0 +1,46 @@
+"""Artifact version stamping shared by checkpoints and ``.ptdb`` files.
+
+Every persistent artifact the tool writes carries two stamps in its meta
+record::
+
+    "format_version": <int>          # schema revision of this artifact
+    "tool": {"name": "repro", "version": "<semver>"}
+
+``format_version`` is checked by each reader against the revision it
+understands.  The tool stamp is checked here: artifacts written by a
+different *major* version are rejected up front with a clear
+:class:`InvalidInputError` instead of failing later on a schema drift
+the checksum cannot see.  Artifacts that predate stamping (no ``tool``
+key) load unchecked, for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .errors import InvalidInputError
+
+__all__ = ["check_tool_version", "tool_meta"]
+
+
+def tool_meta() -> Dict[str, str]:
+    """The ``tool`` stamp written into artifact headers."""
+    from .. import __version__
+
+    return {"name": "repro", "version": __version__}
+
+
+def check_tool_version(meta: Dict[str, Any], path: str, what: str) -> None:
+    """Reject an artifact written by an incompatible tool major version."""
+    from .. import __version__
+
+    tool = meta.get("tool")
+    if not isinstance(tool, dict) or "version" not in tool:
+        return
+    theirs = str(tool["version"])
+    if theirs.split(".")[0] != __version__.split(".")[0]:
+        raise InvalidInputError(
+            f"{path}: {what} written by {tool.get('name', 'repro')} "
+            f"{theirs}, this is repro {__version__} "
+            f"(major versions must match; re-create the {what})"
+        )

@@ -53,7 +53,17 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from .errors import ReproError, WorkerCrashed
 from . import faults
 
-__all__ = ["WorkerPool", "run_job", "main"]
+__all__ = ["MAX_POOL_WORKERS", "WorkerPool", "default_jobs", "run_job", "main"]
+
+# Upper bound on pool parallelism.  Each slot supervises a full solver
+# child process, so past this point extra slots just thrash memory.
+MAX_POOL_WORKERS = 16
+
+
+def default_jobs() -> int:
+    """Pool width when the caller does not choose: the machine's CPU
+    count, clamped to the pool bound."""
+    return max(1, min(MAX_POOL_WORKERS, os.cpu_count() or 1))
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +303,7 @@ class WorkerPool:
 
     def __init__(self, supervisor, jobs: int = 2) -> None:
         self.supervisor = supervisor
-        self.jobs = max(1, int(jobs))
+        self.jobs = max(1, min(MAX_POOL_WORKERS, int(jobs)))
 
     def run(
         self,

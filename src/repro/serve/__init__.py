@@ -1,0 +1,40 @@
+"""``repro.serve`` — solve once, answer many.
+
+The serving layer splits the paper's workflow in two:
+
+* **compile** (:func:`compile_database`) runs the full solver stack and
+  packages the solved relations, name maps, and provenance into a
+  versioned, checksummed ``.ptdb`` artifact
+  (:class:`PointsToDatabase`), and
+* **answer** (:class:`QueryEngine`, :class:`PointsToServer`,
+  :class:`PointsToClient`) loads that artifact in O(file) and evaluates
+  demand queries — points-to, aliases, mod-ref, callers, escape — by
+  cheap BDD restriction, with caching, per-request budgets, and metrics.
+
+CLI entry points: ``repro compile-db``, ``repro serve``,
+``repro query --db``.
+"""
+
+from .database import FORMAT_VERSION, PointsToDatabase, compile_database
+from .engine import QUERY_KINDS, QueryEngine, QueryError
+from .metrics import Metrics
+from .protocol import MAX_BATCH, MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError
+from .server import PointsToServer
+from .client import PointsToClient, ServerError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAX_BATCH",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "QUERY_KINDS",
+    "Metrics",
+    "PointsToClient",
+    "PointsToDatabase",
+    "PointsToServer",
+    "ProtocolError",
+    "QueryEngine",
+    "QueryError",
+    "ServerError",
+    "compile_database",
+]

@@ -1,0 +1,127 @@
+"""Blocking client for the demand-query protocol.
+
+Used by ``repro query --server``, the serve benchmark, the CI smoke
+script, and the protocol tests.  One socket, sequential request ids,
+context-manager lifecycle::
+
+    with PointsToClient("127.0.0.1", 7777) as client:
+        hello = client.hello()
+        pts = client.query("points-to", {"variable": "Main.main:s"})
+
+A server-side error response raises :class:`ServerError` carrying the
+typed code; transport problems surface as :class:`ConnectionError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from .protocol import MAX_LINE_BYTES, LineReader, encode
+
+__all__ = ["PointsToClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """The server answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class PointsToClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7777,
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = LineReader(self._sock, MAX_LINE_BYTES)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "PointsToClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        obj = dict(obj)
+        self._next_id += 1
+        obj.setdefault("id", self._next_id)
+        self._sock.sendall(encode(obj))
+        line = self._reader.read_line()
+        if line is None:
+            raise ConnectionError("server closed the connection")
+        import json
+
+        response = json.loads(line)
+        if response.get("id") not in (obj["id"], None):
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {obj['id']!r}"
+            )
+        return response
+
+    def _result(self, response: Dict[str, Any]) -> Any:
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServerError(
+            error.get("code", "server-error"),
+            error.get("message", "unspecified server error"),
+        )
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def hello(self) -> Dict[str, Any]:
+        return self._result(self.request({"verb": "hello"}))
+
+    def ping(self) -> bool:
+        return bool(self._result(self.request({"verb": "ping"}))["pong"])
+
+    def query(
+        self,
+        kind: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+        no_cache: bool = False,
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"verb": "query", "kind": kind, "args": args or {}}
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        if no_cache:
+            request["no_cache"] = True
+        return self._result(self.request(request))
+
+    def batch(self, queries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Send query dicts (``{"kind": ..., "args": ...}``); returns the
+        per-query response objects (each ``ok``/``error`` in order)."""
+        subs = [dict(q, verb="query") for q in queries]
+        result = self._result(self.request({"verb": "batch", "requests": subs}))
+        return result["results"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._result(self.request({"verb": "stats"}))
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._result(self.request({"verb": "shutdown"}))

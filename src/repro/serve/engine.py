@@ -1,0 +1,479 @@
+"""Demand-query engine over a loaded :class:`PointsToDatabase`.
+
+Queries are point lookups evaluated by BDD ``select`` (restrict +
+existential quantification) against the solved relations — no fixpoint,
+no solver.  Five kinds:
+
+``points-to(v)``
+    Heap names ``v`` may point to; context-sensitive variant when a
+    ``context`` argument is given (reads ``vPC`` instead of ``vP``).
+``aliases(v1, v2)``
+    Whether two variables may point to a common object, with the common
+    heap names as evidence.
+``mod-ref(m)``
+    Heap/field pairs method ``m`` may modify or read, transitively
+    (requires a database compiled with the mod-ref fragment).
+``callers(m)``
+    Invocation sites (and their enclosing methods) that may call ``m``,
+    from the ``IE`` edges.
+``escape(h)``
+    Thread-escape verdict for an allocation site.
+
+Concurrency: the BDD manager is not thread-safe (shared unique table and
+operation caches), so all BDD evaluation is serialized under one lock.
+Three mechanisms keep the lock from being the bottleneck:
+
+* a bounded LRU cache keyed by ``(db_id, kind, canonical args)`` holding
+  *pre-encoded* result dicts — hits never touch the lock,
+* in-flight deduplication — concurrent identical misses run the
+  evaluator once; the waiters get the same result and count as hits,
+* per-request :class:`ResourceBudget` enforcement — a watchdog on the
+  manager plus deadline checks in the decode loops, so one pathological
+  query cannot starve the rest for long and returns a *typed*
+  ``budget-exceeded`` error rather than killing the connection.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runtime import (
+    NodeBudgetExceeded,
+    ResourceBudget,
+    SolverTimeout,
+    Watchdog,
+)
+from .database import PointsToDatabase
+from .metrics import Metrics
+
+__all__ = ["QueryEngine", "QueryError", "QUERY_KINDS"]
+
+QUERY_KINDS = ("points-to", "aliases", "mod-ref", "callers", "escape")
+
+_DEFAULT_CACHE_SIZE = 1024
+# Decode loops check the deadline every this many tuples.
+_DECODE_CHECK_STRIDE = 256
+
+
+class QueryError(Exception):
+    """A query failed in a way the client should see as a typed error.
+
+    ``code`` is one of the protocol error codes (``bad-argument``,
+    ``not-found``, ``unsupported``, ``budget-exceeded``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _InFlight:
+    """One in-progress computation; late arrivals wait on the event."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[QueryError] = None
+
+
+class QueryEngine:
+    """Evaluates demand queries against one loaded database."""
+
+    def __init__(
+        self,
+        db: PointsToDatabase,
+        *,
+        cache_size: int = _DEFAULT_CACHE_SIZE,
+        default_timeout: Optional[float] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.db = db
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.default_timeout = default_timeout
+        self._cache_size = max(0, int(cache_size))
+        self._cache: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        # Serializes all access to the BDD manager (not thread-safe).
+        self._eval_lock = threading.Lock()
+        self._inflight: Dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._evaluators = {
+            "points-to": self._eval_points_to,
+            "aliases": self._eval_aliases,
+            "mod-ref": self._eval_mod_ref,
+            "callers": self._eval_callers,
+            "escape": self._eval_escape,
+        }
+        self._callers_index: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        kind: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> Dict[str, Any]:
+        """Evaluate one query; returns a JSON-serializable result dict.
+
+        Raises :class:`QueryError` for anything the caller did wrong or a
+        blown budget; never raises for concurrent access.
+        """
+        start = time.monotonic()
+        args = dict(args or {})
+        evaluator = self._evaluators.get(kind)
+        if evaluator is None:
+            self.metrics.observe_query(
+                str(kind), time.monotonic() - start,
+                cache_hit=False, computed=False, error=True,
+            )
+            raise QueryError(
+                "unknown-query",
+                f"unknown query kind {kind!r} (have {', '.join(QUERY_KINDS)})",
+            )
+        key = (self.db.db_id, kind, _canonical(args))
+
+        if use_cache:
+            hit = self._cache_get(key)
+            if hit is not None:
+                self.metrics.observe_query(
+                    kind, time.monotonic() - start,
+                    cache_hit=True, computed=False,
+                )
+                return hit
+
+        # In-flight dedup: first thread computes, the rest wait.
+        owner = False
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _InFlight()
+                owner = True
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                self.metrics.observe_query(
+                    kind, time.monotonic() - start,
+                    cache_hit=False, computed=False, error=True,
+                )
+                raise flight.error
+            assert flight.result is not None
+            self.metrics.observe_query(
+                kind, time.monotonic() - start,
+                cache_hit=True, computed=False,
+            )
+            return flight.result
+
+        try:
+            budget = self._budget_for(timeout)
+            try:
+                with self._eval_lock:
+                    result = self._evaluate(evaluator, args, budget)
+            except (SolverTimeout, NodeBudgetExceeded) as err:
+                raise QueryError("budget-exceeded", str(err))
+            if use_cache:
+                self._cache_put(key, result)
+            flight.result = result
+            self.metrics.observe_query(
+                kind, time.monotonic() - start,
+                cache_hit=False, computed=True,
+            )
+            return result
+        except QueryError as err:
+            flight.error = err
+            self.metrics.observe_query(
+                kind, time.monotonic() - start,
+                cache_hit=False, computed=False, error=True,
+            )
+            raise
+        finally:
+            flight.event.set()
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cache_lock:
+            cached = len(self._cache)
+        return {
+            "db_id": self.db.db_id,
+            "cache_entries": cached,
+            "cache_capacity": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Cache / budget plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: tuple) -> Optional[Dict[str, Any]]:
+        with self._cache_lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+            return result
+
+    def _cache_put(self, key: tuple, result: Dict[str, Any]) -> None:
+        if self._cache_size <= 0:
+            return
+        with self._cache_lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _budget_for(self, timeout: Optional[float]) -> Optional[ResourceBudget]:
+        if timeout is None:
+            timeout = self.default_timeout
+        if timeout is None:
+            return None
+        return ResourceBudget(timeout=float(timeout)).start()
+
+    def _evaluate(self, evaluator, args, budget) -> Dict[str, Any]:
+        manager = self.db.manager
+        if budget is not None:
+            watchdog = Watchdog(budget, manager)
+            manager.set_watchdog(watchdog.check, watchdog.stride)
+        try:
+            if budget is not None and budget.expired():
+                raise SolverTimeout(
+                    f"wall-clock budget of {budget.timeout:.3f}s exhausted"
+                )
+            return evaluator(args, budget)
+        finally:
+            if budget is not None:
+                manager.clear_watchdog()
+
+    @staticmethod
+    def _decode(relation, budget, limit: Optional[int] = None) -> List[tuple]:
+        """Decode a relation's tuples with periodic deadline checks."""
+        out: List[tuple] = []
+        for i, t in enumerate(relation.tuples()):
+            if budget is not None and i % _DECODE_CHECK_STRIDE == 0 and budget.expired():
+                raise SolverTimeout(
+                    f"wall-clock budget of {budget.timeout:.3f}s exhausted"
+                )
+            out.append(t)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Argument resolution
+    # ------------------------------------------------------------------
+
+    def _need(self, args: Dict[str, Any], name: str) -> Any:
+        if name not in args or args[name] in (None, ""):
+            raise QueryError("bad-argument", f"missing required argument {name!r}")
+        return args.pop(name)
+
+    def _reject_extras(self, args: Dict[str, Any]) -> None:
+        if args:
+            raise QueryError(
+                "bad-argument", f"unexpected arguments {sorted(args)}"
+            )
+
+    def _resolve_var(self, spec: Any) -> int:
+        """A variable: ``"Method.m:var"`` name or a V ordinal."""
+        if isinstance(spec, int):
+            if not 0 <= spec < len(self.db.maps.get("V", ())):
+                raise QueryError("not-found", f"variable ordinal {spec} out of range")
+            return spec
+        if not isinstance(spec, str):
+            raise QueryError("bad-argument", f"variable must be str or int, got {spec!r}")
+        try:
+            return self.db.var_id(spec)
+        except KeyError:
+            pass
+        # Accept a raw representative name from the V domain too.
+        try:
+            return self.db.id_of("V", spec)
+        except KeyError:
+            raise QueryError("not-found", f"unknown variable {spec!r}")
+
+    def _resolve_method(self, spec: Any) -> int:
+        if isinstance(spec, int):
+            if not 0 <= spec < len(self.db.maps.get("M", ())):
+                raise QueryError("not-found", f"method ordinal {spec} out of range")
+            return spec
+        if not isinstance(spec, str):
+            raise QueryError("bad-argument", f"method must be str or int, got {spec!r}")
+        try:
+            return self.db.method_id(spec)
+        except KeyError:
+            raise QueryError("not-found", f"unknown method {spec!r}")
+
+    def _resolve_heap(self, spec: Any) -> int:
+        if isinstance(spec, int):
+            if not 0 <= spec < len(self.db.maps.get("H", ())):
+                raise QueryError("not-found", f"heap ordinal {spec} out of range")
+            return spec
+        if not isinstance(spec, str):
+            raise QueryError("bad-argument", f"heap must be str or int, got {spec!r}")
+        try:
+            return self.db.id_of("H", spec)
+        except KeyError:
+            raise QueryError("not-found", f"unknown heap object {spec!r}")
+
+    # ------------------------------------------------------------------
+    # Evaluators (called under _eval_lock)
+    # ------------------------------------------------------------------
+
+    def _eval_points_to(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
+        v = self._resolve_var(self._need(args, "variable"))
+        context = args.pop("context", None)
+        self._reject_extras(args)
+        heaps = self.db.maps["H"]
+        if context is None:
+            sel = self.db.relation("vP").select(variable=v)
+            rows = self._decode(sel, budget)
+            names = sorted(heaps[h] for (h,) in rows)
+        else:
+            if not isinstance(context, int) or context < 0:
+                raise QueryError(
+                    "bad-argument", f"context must be a non-negative int, got {context!r}"
+                )
+            sel = self.db.relation("vPC").select(context=context, variable=v)
+            rows = self._decode(sel, budget)
+            names = sorted(heaps[h] for (h,) in rows)
+        return {
+            "variable": self.db.maps["V"][v],
+            "context": context,
+            "heaps": names,
+            "count": len(names),
+        }
+
+    def _eval_aliases(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
+        v1 = self._resolve_var(self._need(args, "variable1"))
+        v2 = self._resolve_var(self._need(args, "variable2"))
+        self._reject_extras(args)
+        vP = self.db.relation("vP")
+        manager = self.db.manager
+        # points-to(v1) AND points-to(v2): both selects leave only the H
+        # block, so a plain conjunction is the intersection.
+        s1 = vP.select(variable=v1)
+        s2 = vP.select(variable=v2)
+        common = s1
+        common.set_node(manager.and_(s1.node, s2.node))
+        rows = self._decode(common, budget)
+        heaps = self.db.maps["H"]
+        names = sorted(heaps[h] for (h,) in rows)
+        return {
+            "variable1": self.db.maps["V"][v1],
+            "variable2": self.db.maps["V"][v2],
+            "may_alias": bool(names),
+            "common_heaps": names,
+        }
+
+    def _eval_mod_ref(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
+        m = self._resolve_method(self._need(args, "method"))
+        context = args.pop("context", None)
+        self._reject_extras(args)
+        if not (self.db.has_relation("mod") and self.db.has_relation("ref")):
+            raise QueryError(
+                "unsupported",
+                "database was compiled without the mod-ref fragment "
+                "(re-run 'repro compile-db' without --no-modref)",
+            )
+        heaps = self.db.maps["H"]
+        fields = self.db.maps["F"]
+
+        def side(name: str) -> List[List[str]]:
+            rel = self.db.relation(name)
+            if context is None:
+                sel = rel.select(m=m).project("heap", "field")
+            else:
+                sel = rel.select(c=context, m=m)
+            rows = self._decode(sel, budget)
+            return sorted(
+                [heaps[h], fields[f]] for (h, f) in rows
+            )
+
+        if context is not None and (not isinstance(context, int) or context < 0):
+            raise QueryError(
+                "bad-argument", f"context must be a non-negative int, got {context!r}"
+            )
+        mod = side("mod")
+        ref = side("ref")
+        return {
+            "method": self.db.maps["M"][m],
+            "context": context,
+            "mod": mod,
+            "ref": ref,
+        }
+
+    def _eval_callers(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
+        m = self._resolve_method(self._need(args, "method"))
+        self._reject_extras(args)
+        index = self._callers_index
+        if index is None:
+            index = {}
+            for i, callee in self.db.tuples.get("IE", ()):
+                index.setdefault(callee, []).append(i)
+            self._callers_index = index
+        sites = sorted(index.get(m, ()))
+        inv_names = self.db.maps.get("I", [])
+        method_names = self.db.maps["M"]
+        callers = []
+        caller_methods = set()
+        for i in sites:
+            caller_m = self.db.site_method.get(i)
+            entry = {
+                "site": inv_names[i] if i < len(inv_names) else i,
+                "method": (
+                    method_names[caller_m] if caller_m is not None else None
+                ),
+            }
+            if caller_m is not None:
+                caller_methods.add(method_names[caller_m])
+            callers.append(entry)
+        return {
+            "method": method_names[m],
+            "callers": callers,
+            "caller_methods": sorted(caller_methods),
+            "count": len(callers),
+        }
+
+    def _eval_escape(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
+        h = self._resolve_heap(self._need(args, "heap"))
+        self._reject_extras(args)
+        escaped = h in set(self.db.escape.get("escaped", ()))
+        captured = h in set(self.db.escape.get("captured", ()))
+        if escaped:
+            verdict = "escaped"
+        elif captured:
+            verdict = "captured"
+        else:
+            # Not a tracked allocation (e.g. a string constant) — neither
+            # verdict applies.
+            verdict = "untracked"
+        return {
+            "heap": self.db.maps["H"][h],
+            "verdict": verdict,
+            "escaped": escaped,
+            "captured": captured,
+        }
+
+
+def _canonical(args: Dict[str, Any]) -> tuple:
+    """Hashable canonical form of a query's arguments."""
+    return tuple(sorted((k, _freeze(v)) for k, v in args.items()))
+
+
+def _freeze(value: Any):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -1,0 +1,413 @@
+"""Threaded demand-query server over one loaded points-to database.
+
+Thread-per-connection on top of :class:`QueryEngine` (which serializes
+BDD work internally and answers cache hits without the lock).  Designed
+to *survive misbehaving clients*: malformed JSON, oversized lines,
+unknown verbs, mid-request disconnects, and budget-blowing queries all
+produce typed error responses (or a dropped partial line) — never a dead
+server or a leaked handler thread.
+
+Operational limits, all constructor-tunable:
+
+* ``max_connections`` — concurrent connections; excess connects receive
+  one ``shutting-down``-style refusal line and are closed,
+* ``max_requests_per_connection`` — after this many requests the server
+  answers normally, then closes (load-balancer style recycling),
+* ``idle_timeout`` — a connection silent for this long is closed,
+* per-request ``default_timeout`` forwarded to the engine.
+
+Shutdown is graceful: the listener stops accepting, in-flight handlers
+get ``drain_timeout`` seconds to finish, and the metrics report is
+written to the log stream.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from .. import __version__ as TOOL_VERSION
+from .database import PointsToDatabase
+from .engine import QueryEngine, QueryError
+from .metrics import Metrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["PointsToServer"]
+
+_DEFAULT_MAX_CONNECTIONS = 64
+_DEFAULT_MAX_REQUESTS = 100_000
+_DEFAULT_IDLE_TIMEOUT = 300.0
+
+
+class PointsToServer:
+    """Serves demand queries for one database over TCP."""
+
+    def __init__(
+        self,
+        db: PointsToDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_size: int = 1024,
+        default_timeout: Optional[float] = None,
+        max_connections: int = _DEFAULT_MAX_CONNECTIONS,
+        max_requests_per_connection: int = _DEFAULT_MAX_REQUESTS,
+        idle_timeout: float = _DEFAULT_IDLE_TIMEOUT,
+        log: Optional[TextIO] = None,
+    ) -> None:
+        self.db = db
+        self.metrics = Metrics()
+        self.engine = QueryEngine(
+            db,
+            cache_size=cache_size,
+            default_timeout=default_timeout,
+            metrics=self.metrics,
+        )
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_requests_per_connection = max_requests_per_connection
+        self.idle_timeout = idle_timeout
+        self._log = log if log is not None else sys.stderr
+        # Wire-level response cache: exact request line -> (query kind,
+        # encoded response bytes).  A hit skips JSON parsing, engine
+        # dispatch, and re-encoding — the hot path for clients that
+        # repeat identical request lines.  Sound because the database is
+        # immutable for the server's lifetime; only ``ok`` query
+        # responses without ``no_cache`` are stored.  Clear-on-overflow,
+        # same policy as the BDD operation caches.
+        self._wire_cache: Dict[bytes, tuple] = {}
+        self._wire_lock = threading.Lock()
+        self._wire_cap = max(64, cache_size)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: Dict[int, threading.Thread] = {}
+        self._handlers_lock = threading.Lock()
+        self._next_conn = 0
+        self._shutdown = threading.Event()
+        self._finalize_lock = threading.Lock()
+        self._finalized = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen, and start accepting in a background thread."""
+        if self._started:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        # A blocking accept() is not reliably woken by close() from another
+        # thread; poll with a short timeout so shutdown always terminates
+        # the accept loop.
+        listener.settimeout(0.25)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._print(
+            f"serving {self.db.db_id} on {self.host}:{self.port} "
+            f"(protocol {PROTOCOL_VERSION}, repro {TOOL_VERSION})"
+        )
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`shutdown`."""
+        if not self._started:
+            self.start()
+        try:
+            while not self._shutdown.wait(0.25):
+                pass
+        except KeyboardInterrupt:
+            pass
+        self.shutdown()
+
+    def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain handlers, dump metrics. Idempotent.
+
+        The drain must run even when the ``shutdown`` *verb* already set
+        the event (serve_forever calls here afterwards): a handler may
+        still be writing that verb's response, so gate on a separate
+        finalized flag, not on the event itself.
+        """
+        with self._finalize_lock:
+            if self._finalized:
+                return
+            self._finalized = True
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain_timeout)
+        deadline = time.monotonic() + drain_timeout
+        for thread in self.handler_threads():
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._print("server stopped; final metrics:")
+        self._print(self.metrics.render())
+
+    def handler_threads(self) -> List[threading.Thread]:
+        with self._handlers_lock:
+            return list(self._handlers.values())
+
+    @property
+    def address(self):
+        return (self.host, self.port)
+
+    def _print(self, message: str) -> None:
+        try:
+            print(message, file=self._log, flush=True)
+        except ValueError:
+            pass  # log stream already closed (interpreter teardown)
+
+    # ------------------------------------------------------------------
+    # Accept / connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, peer = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by shutdown
+            with self._handlers_lock:
+                active = len(self._handlers)
+                if active >= self.max_connections:
+                    self.metrics.connection_rejected()
+                    self._refuse(conn)
+                    continue
+                self._next_conn += 1
+                conn_id = self._next_conn
+                thread = threading.Thread(
+                    target=self._handle,
+                    args=(conn, conn_id),
+                    name=f"serve-conn-{conn_id}",
+                    daemon=True,
+                )
+                self._handlers[conn_id] = thread
+            self.metrics.connection_opened()
+            thread.start()
+
+    def _refuse(self, conn: socket.socket) -> None:
+        try:
+            conn.sendall(
+                encode(
+                    error_response(
+                        None,
+                        "shutting-down",
+                        f"connection limit of {self.max_connections} reached",
+                    )
+                )
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(self, conn: socket.socket, conn_id: int) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(self.idle_timeout)
+            # C-level buffered readline keeps the per-request read cost
+            # out of the Python interpreter (this loop is the server's
+            # hot path).  The +2 headroom distinguishes "exactly at the
+            # cap, newline included" from "over the cap".
+            reader = conn.makefile("rb")
+            wire_cache = self._wire_cache
+            served = 0
+            while not self._shutdown.is_set():
+                try:
+                    line = reader.readline(MAX_LINE_BYTES + 2)
+                except socket.timeout:
+                    break  # idle connection
+                except OSError:
+                    break  # client went away mid-read
+                if not line:
+                    break  # clean EOF
+                if not line.endswith(b"\n"):
+                    if len(line) > MAX_LINE_BYTES:
+                        if not self._consume_oversized(reader):
+                            break
+                        self.metrics.protocol_error("too-large")
+                        self._send_bytes(
+                            conn,
+                            encode(
+                                error_response(
+                                    None, "too-large",
+                                    f"request line exceeds "
+                                    f"{MAX_LINE_BYTES} bytes",
+                                )
+                            ),
+                        )
+                        continue
+                    break  # mid-request disconnect: drop the partial line
+                hit = wire_cache.get(line)
+                if hit is not None:
+                    started = time.perf_counter()
+                    kind, payload = hit
+                    ok = self._send_bytes(conn, payload)
+                    self.metrics.wire_hit(
+                        kind, time.perf_counter() - started
+                    )
+                    if not ok:
+                        break
+                else:
+                    if not line.strip():
+                        continue
+                    response, wire_kind = self._dispatch(line)
+                    payload = encode(response)
+                    if wire_kind is not None:
+                        with self._wire_lock:
+                            if len(wire_cache) >= self._wire_cap:
+                                wire_cache.clear()
+                            wire_cache[bytes(line)] = (wire_kind, payload)
+                    if not self._send_bytes(conn, payload):
+                        break
+                served += 1
+                if served >= self.max_requests_per_connection:
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._handlers_lock:
+                self._handlers.pop(conn_id, None)
+
+    @staticmethod
+    def _consume_oversized(reader) -> bool:
+        """Swallow the rest of an over-cap line; False on EOF/error."""
+        try:
+            while True:
+                chunk = reader.readline(MAX_LINE_BYTES)
+                if not chunk:
+                    return False
+                if chunk.endswith(b"\n"):
+                    return True
+        except (OSError, ValueError):
+            return False
+
+    def _send_bytes(self, conn: socket.socket, payload: bytes) -> bool:
+        try:
+            conn.sendall(payload)
+            return True
+        except (OSError, ValueError):
+            return False
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, line: bytes):
+        """Handle one request line; returns ``(response, wire_kind)``.
+
+        ``wire_kind`` is the query kind when the response is eligible for
+        the wire cache (a successful plain query), else ``None``.
+        """
+        self.metrics.request_started()
+        try:
+            try:
+                request = decode_request(line)
+            except ProtocolError as err:
+                self.metrics.protocol_error(err.code)
+                return error_response(None, err.code, str(err)), None
+            request_id = request.get("id")
+            verb = request["verb"]
+            try:
+                if verb == "query":
+                    result = self._do_query(request)
+                    kind = (
+                        request["kind"]
+                        if not request.get("no_cache") else None
+                    )
+                    return ok_response(request_id, result), kind
+                if verb == "batch":
+                    return ok_response(request_id, self._do_batch(request)), None
+                if verb == "hello":
+                    return ok_response(request_id, self._do_hello()), None
+                if verb == "stats":
+                    return ok_response(request_id, self._do_stats()), None
+                if verb == "ping":
+                    return ok_response(request_id, {"pong": True}), None
+                if verb == "shutdown":
+                    # Answer first; the event stops the accept/serve loops.
+                    self._shutdown.set()
+                    return ok_response(request_id, {"stopping": True}), None
+                raise AssertionError(f"unreachable verb {verb!r}")
+            except QueryError as err:
+                return error_response(request_id, err.code, str(err)), None
+            except Exception as err:  # noqa: BLE001 - must not kill the handler
+                self.metrics.protocol_error("server-error")
+                return error_response(
+                    request_id, "server-error",
+                    f"internal error: {type(err).__name__}: {err}",
+                ), None
+        finally:
+            self.metrics.request_finished()
+
+    def _do_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        kind = request.get("kind")
+        if not isinstance(kind, str):
+            raise QueryError("bad-argument", "query request lacks a string 'kind'")
+        return self.engine.query(
+            kind,
+            request.get("args") or {},
+            timeout=request.get("timeout_s"),
+            use_cache=not request.get("no_cache", False),
+        )
+
+    def _do_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        results: List[Dict[str, Any]] = []
+        for sub in request["requests"]:
+            if not isinstance(sub, dict):
+                results.append(
+                    error_response(
+                        None, "invalid-request", "batch entry must be an object"
+                    )
+                )
+                continue
+            sub_id = sub.get("id")
+            try:
+                results.append(ok_response(sub_id, self._do_query(sub)))
+            except QueryError as err:
+                results.append(error_response(sub_id, err.code, str(err)))
+        return {"results": results}
+
+    def _do_hello(self) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "tool": {"name": "repro", "version": TOOL_VERSION},
+            "db": self.db.summary(),
+        }
+
+    def _do_stats(self) -> Dict[str, Any]:
+        out = self.metrics.snapshot()
+        out["engine"] = self.engine.stats()
+        out["engine"]["wire_cache_entries"] = len(self._wire_cache)
+        return out

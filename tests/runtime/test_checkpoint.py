@@ -231,3 +231,80 @@ sys.stdout.write("\\n".join(lines))
         )
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout == want
+
+
+class TestVersionStamp:
+    """Checkpoints are stamped with the schema revision and tool version;
+    incompatible stamps are rejected before any payload is parsed."""
+
+    @staticmethod
+    def _tamper(path, tmp_path, **updates):
+        import json
+        import pathlib
+
+        lines = pathlib.Path(path).read_text().splitlines()
+        meta = json.loads(lines[1][len("meta "):])
+        for key, value in updates.items():
+            if value is None:
+                meta.pop(key, None)
+            else:
+                meta[key] = value
+        lines[1] = "meta " + json.dumps(
+            meta, sort_keys=True, separators=(",", ":")
+        )
+        out = tmp_path / "tampered.ckpt"
+        out.write_text("\n".join(lines) + "\n")
+        return out
+
+    def _saved(self, tmp_path):
+        solver = build()
+        solver.solve()
+        path = tmp_path / "stamped.ckpt"
+        save_checkpoint(solver, path)
+        return path
+
+    def test_stamp_is_written(self, tmp_path):
+        import json
+        import pathlib
+
+        from repro import __version__
+        from repro.runtime.checkpoint import FORMAT_VERSION
+
+        path = self._saved(tmp_path)
+        meta = json.loads(
+            pathlib.Path(path).read_text().splitlines()[1][len("meta "):]
+        )
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["tool"] == {"name": "repro", "version": __version__}
+
+    def test_future_format_version_rejected(self, tmp_path):
+        from repro.runtime import InvalidInputError
+        from repro.runtime.checkpoint import FORMAT_VERSION
+
+        bad = self._tamper(
+            self._saved(tmp_path), tmp_path,
+            format_version=FORMAT_VERSION + 1,
+        )
+        with pytest.raises(InvalidInputError, match="format_version"):
+            load_checkpoint(build(), bad)
+
+    def test_tool_major_mismatch_rejected(self, tmp_path):
+        from repro.runtime import InvalidInputError
+
+        bad = self._tamper(
+            self._saved(tmp_path), tmp_path, tool={"version": "99.0.0"}
+        )
+        with pytest.raises(InvalidInputError, match="99.0.0"):
+            load_checkpoint(build(), bad)
+
+    def test_unstamped_legacy_file_still_loads(self, tmp_path):
+        legacy = self._tamper(
+            self._saved(tmp_path), tmp_path, format_version=None, tool=None
+        )
+        solver = build()
+        load_checkpoint(solver, legacy)
+        reference = build()
+        reference.solve()
+        assert set(solver.relation("path").tuples()) == set(
+            reference.relation("path").tuples()
+        )

@@ -1,0 +1,67 @@
+"""Shared fixtures: one small program compiled into a points-to database.
+
+The compile is session-scoped — every serve test reads from the same
+immutable database, which is exactly the serving model (solve once,
+query many).
+"""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.serve import PointsToDatabase, compile_database
+
+# Exercises every query kind: allocations (points-to), a copy chain
+# (aliases / factoring), a field store through a call (mod-ref, callers),
+# and a cross-thread publication plus a thread-private allocation
+# (escaped and captured verdicts).
+SOURCE = """
+class Worker extends Thread {
+    method run() {
+        private = new Object;
+        shared = Main.channel;
+        sync shared;
+    }
+}
+class Helper {
+    field f : Object;
+    method keep(x : Object) {
+        this.f = x;
+    }
+}
+class Main {
+    static field channel : Object;
+    static method main() {
+        a = new Object;
+        b = a;
+        c = new Helper;
+        h = new Helper;
+        h.keep(a);
+        Main.channel = a;
+        w = new Worker;
+        w.start();
+        sync a;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def program():
+    return parse_program(SOURCE, include_library=False)
+
+
+@pytest.fixture(scope="session")
+def compiled_db(program):
+    return compile_database(program, source_path="serve-test.mj")
+
+
+@pytest.fixture(scope="session")
+def db_path(compiled_db, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ptdb") / "serve-test.ptdb"
+    compiled_db.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def loaded_db(db_path):
+    return PointsToDatabase.load(db_path)

@@ -328,3 +328,97 @@ class TestIsolate:
                      "--memory-limit", "1024"])
         assert code == 0
         assert "points-to" in capsys.readouterr().out
+
+
+class TestCompileDb:
+    def test_compile_and_query_db(self, clean_file, tmp_path, capsys):
+        db = str(tmp_path / "clean.ptdb")
+        assert main(["compile-db", clean_file, "--no-library",
+                     "--out", db]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out
+        assert "relations:" in out
+
+        assert main(["query", "--kind", "points-to", "--db", db,
+                     "--var", "Main.main:a"]) == 0
+        out = capsys.readouterr().out
+        assert "new Object" in out
+
+    def test_default_out_path(self, clean_file, capsys):
+        assert main(["compile-db", clean_file, "--no-library"]) == 0
+        import pathlib
+
+        expected = pathlib.Path(clean_file).with_suffix(".ptdb")
+        assert expected.exists()
+
+    def test_query_db_all_kinds(self, clean_file, tmp_path, capsys):
+        db = str(tmp_path / "clean.ptdb")
+        assert main(["compile-db", clean_file, "--no-library",
+                     "--out", db]) == 0
+        capsys.readouterr()
+        assert main(["query", "--kind", "aliases", "--db", db,
+                     "--var", "Main.main:a", "--var2", "Main.main:b"]) == 0
+        assert "may alias" in capsys.readouterr().out
+        assert main(["query", "--kind", "callers", "--db", db,
+                     "--method", "Main.main"]) == 0
+        assert "call sites" in capsys.readouterr().out
+        assert main(["query", "--kind", "mod-ref", "--db", db,
+                     "--method", "Main.main"]) == 0
+        assert "mod" in capsys.readouterr().out
+        assert main(["query", "--kind", "escape", "--db", db,
+                     "--heap", "<global>"]) == 0
+        assert "escaped" in capsys.readouterr().out
+
+    def test_query_db_unknown_name_is_dataerr(self, clean_file, tmp_path,
+                                              capsys):
+        db = str(tmp_path / "clean.ptdb")
+        assert main(["compile-db", clean_file, "--no-library",
+                     "--out", db]) == 0
+        code = main(["query", "--kind", "points-to", "--db", db,
+                     "--var", "No.such:var"])
+        assert code == 65
+        assert "unknown variable" in capsys.readouterr().err
+
+    def test_solve_kind_rejected_with_db(self, clean_file, tmp_path, capsys):
+        db = str(tmp_path / "clean.ptdb")
+        assert main(["compile-db", clean_file, "--no-library",
+                     "--out", db]) == 0
+        code = main(["query", "--kind", "vuln", "--db", db])
+        assert code == 2
+        assert "fresh solve" in capsys.readouterr().err
+
+
+class TestQueryNotice:
+    def test_solve_query_prints_compile_db_hint(self, clean_file, capsys):
+        assert main(["query", "--kind", "escape", clean_file,
+                     "--no-library"]) == 0
+        err = capsys.readouterr().err
+        assert "solved the whole program" in err
+        assert "compile-db" in err
+
+    def test_demand_kind_without_db_is_usage_error(self, capsys):
+        code = main(["query", "--kind", "points-to"])
+        assert code == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_query_without_db_or_program_is_usage_error(self, capsys):
+        code = main(["query", "--kind", "escape"])
+        assert code == 2
+        assert "program" in capsys.readouterr().err
+
+
+class TestDefaultJobs:
+    def test_default_jobs_is_clamped_cpu_count(self):
+        import os
+
+        from repro.runtime.worker import MAX_POOL_WORKERS, default_jobs
+
+        jobs = default_jobs()
+        assert 1 <= jobs <= MAX_POOL_WORKERS
+        assert jobs == max(1, min(MAX_POOL_WORKERS, os.cpu_count() or 1))
+
+    def test_pool_clamps_oversized_request(self):
+        from repro.runtime.worker import MAX_POOL_WORKERS, WorkerPool
+
+        pool = WorkerPool(supervisor=None, jobs=10_000)
+        assert pool.jobs == MAX_POOL_WORKERS
