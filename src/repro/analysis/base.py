@@ -58,6 +58,7 @@ def make_solver(
     naive: bool = False,
     extra_text: str = "",
     budget: Optional[ResourceBudget] = None,
+    backend: Optional[str] = None,
 ) -> Solver:
     """Build a solver for ``source`` sized and named from ``facts``.
 
@@ -85,6 +86,7 @@ def make_solver(
         name_maps=name_maps,
         naive=naive,
         budget=budget,
+        backend=backend,
     )
     for decl in program.relations.values():
         if decl.is_input and decl.name in facts.relations:

@@ -130,6 +130,7 @@ class ContextInsensitiveAnalysis:
         query_fragments: Sequence[str] = (),
         extra_text: str = "",
         budget=None,
+        backend: Optional[str] = None,
     ) -> None:
         if facts is None:
             if program is None:
@@ -144,6 +145,7 @@ class ContextInsensitiveAnalysis:
         self.query_fragments = tuple(query_fragments)
         self.extra_text = extra_text
         self.budget = budget
+        self.backend = backend
 
     def algorithm_name(self) -> str:
         if self.discover_call_graph:
@@ -160,6 +162,7 @@ class ContextInsensitiveAnalysis:
             naive=self.naive,
             extra_text=self.extra_text,
             budget=self.budget,
+            backend=self.backend,
         )
         discovered = None
         if self.discover_call_graph:

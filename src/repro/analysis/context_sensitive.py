@@ -115,6 +115,7 @@ class ContextSensitiveAnalysis:
         checkpoint_dir: Optional[str] = None,
         degrade: bool = True,
         truncate_cap: int = 64,
+        backend: Optional[str] = None,
     ) -> None:
         if facts is None:
             if program is None:
@@ -137,6 +138,7 @@ class ContextSensitiveAnalysis:
         self.checkpoint_dir = checkpoint_dir
         self.degrade = degrade
         self.truncate_cap = truncate_cap
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -146,7 +148,10 @@ class ContextSensitiveAnalysis:
         if self.use_cha_graph:
             return cha_call_graph(self.facts)
         ci = ContextInsensitiveAnalysis(
-            facts=self.facts, type_filtering=True, discover_call_graph=True
+            facts=self.facts,
+            type_filtering=True,
+            discover_call_graph=True,
+            backend=self.backend,
         ).run()
         return ci.discovered_call_graph
 
@@ -174,6 +179,7 @@ class ContextSensitiveAnalysis:
             naive=self.naive,
             extra_text=self.extra_text,
             budget=budget,
+            backend=self.backend,
         )
         if install:
             self._install_numbering(solver, numbering, graph)
@@ -230,6 +236,7 @@ class ContextSensitiveAnalysis:
                 type_filtering=True,
                 discover_call_graph=True,
                 budget=self.budget,
+                backend=self.backend,
             ).run()
             result.degraded = True
             result.resumed = False
@@ -307,6 +314,7 @@ class ContextSensitiveAnalysis:
                     type_filtering=True,
                     discover_call_graph=True,
                     budget=budget.share_deadline(),
+                    backend=self.backend,
                 ).run()
                 graph = ci_result.discovered_call_graph
 
@@ -432,6 +440,7 @@ class ContextSensitiveAnalysis:
                         type_filtering=True,
                         discover_call_graph=True,
                         budget=budget.share_deadline(),
+                        backend=self.backend,
                     ).run()
             except ReproError as err:
                 report.record(

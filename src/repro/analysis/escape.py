@@ -133,6 +133,7 @@ class ThreadEscapeAnalysis:
         use_cha_graph: bool = False,
         order_spec: Optional[str] = None,
         budget=None,
+        backend: Optional[str] = None,
     ) -> None:
         if facts is None:
             if program is None:
@@ -143,6 +144,7 @@ class ThreadEscapeAnalysis:
         self.use_cha_graph = use_cha_graph
         self.order_spec = order_spec
         self.budget = budget
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -152,7 +154,10 @@ class ThreadEscapeAnalysis:
         if self.use_cha_graph:
             return cha_call_graph(self.facts)
         ci = ContextInsensitiveAnalysis(
-            facts=self.facts, type_filtering=True, discover_call_graph=True
+            facts=self.facts,
+            type_filtering=True,
+            discover_call_graph=True,
+            backend=self.backend,
         ).run()
         return ci.discovered_call_graph
 
@@ -266,6 +271,7 @@ class ThreadEscapeAnalysis:
             size_overrides={"C": c_size},
             order_spec=self.order_spec,
             budget=self.budget,
+            backend=self.backend,
         )
         solver.add_tuples("assign", assign)
         solver.add_tuples("HT", sorted(ht))

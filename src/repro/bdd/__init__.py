@@ -1,13 +1,32 @@
-"""From-scratch BDD package: kernel, finite domains, variable ordering.
+"""From-scratch BDD package: kernel API, backends, domains, ordering.
 
 This is the substrate that replaces JavaBDD/BuDDy in the reproduction of
-Whaley & Lam (PLDI 2004).  See :mod:`repro.bdd.manager` for the node-level
-API, :mod:`repro.bdd.domain` for finite domains (including the paper's
-contiguous-range and add-constant primitives), and
+Whaley & Lam (PLDI 2004).  The node-level surface is the narrow
+:class:`repro.bdd.api.BddKernel` interface with pluggable backends
+(``reference`` — the recursive original, ``packed`` — packed-int cache
+keys and iterative hot loops); construct kernels with
+:func:`repro.bdd.api.create_kernel` or the ``--backend`` /
+``REPRO_BDD_BACKEND`` plumbing documented in ``docs/kernel.md``.  See
+:mod:`repro.bdd.domain` for finite domains (including the paper's
+contiguous-range and add-constant primitives) and
 :mod:`repro.bdd.ordering` for order specs and the empirical order search.
+
+``repro.bdd.BDD`` resolves lazily (PEP 562) to the kernel class selected
+by ``REPRO_BDD_BACKEND``, so the whole test suite — and any legacy call
+site — can be pointed at a different backend without code changes.
 """
 
-from .manager import BDD, BDDError, FALSE, TRUE
+from .api import (
+    BDDError,
+    BddKernel,
+    FALSE,
+    TRUE,
+    available_backends,
+    create_kernel,
+    get_backend_class,
+    register_backend,
+    resolve_backend_name,
+)
 from .domain import Domain, bits_for, equality_relation, offset_relation
 from .ordering import assign_levels, candidate_orders, parse_order, search_order
 from .reorder import count_nodes_under_order, rebuild_with_levels, sift_order
@@ -16,8 +35,14 @@ from .serialize import load_bdd, save_bdd
 __all__ = [
     "BDD",
     "BDDError",
+    "BddKernel",
     "FALSE",
     "TRUE",
+    "available_backends",
+    "create_kernel",
+    "get_backend_class",
+    "register_backend",
+    "resolve_backend_name",
     "Domain",
     "bits_for",
     "equality_relation",
@@ -32,3 +57,11 @@ __all__ = [
     "search_order",
     "sift_order",
 ]
+
+
+def __getattr__(name: str):
+    # ``BDD`` is intentionally not bound at import time: it resolves to
+    # the environment-selected backend class on each fresh lookup.
+    if name == "BDD":
+        return get_backend_class(None)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

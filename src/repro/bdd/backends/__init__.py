@@ -1,0 +1,6 @@
+"""Concrete :class:`repro.bdd.api.BddKernel` backends.
+
+Nothing outside this package may import these modules directly — go
+through :func:`repro.bdd.api.create_kernel` (enforced by
+``tests/bdd/test_api_boundary.py``).
+"""

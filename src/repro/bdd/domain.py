@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .manager import BDD, BDDError, FALSE, TRUE
+from .api import BDDError, BddKernel, FALSE, TRUE
 
 __all__ = ["Domain", "bits_for", "equality_relation", "offset_relation"]
 
@@ -51,7 +51,7 @@ class Domain:
         Must contain exactly ``bits_for(size)`` entries.
     """
 
-    def __init__(self, manager: BDD, name: str, size: int, levels: Sequence[int]) -> None:
+    def __init__(self, manager: BddKernel, name: str, size: int, levels: Sequence[int]) -> None:
         expected = bits_for(size)
         if len(levels) != expected:
             raise BDDError(

@@ -22,7 +22,7 @@ import itertools
 import time
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
-from .manager import BDDError
+from .api import BDDError
 
 __all__ = ["parse_order", "assign_levels", "candidate_orders", "search_order"]
 

@@ -23,16 +23,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from .manager import BDD, BDDError, FALSE, TRUE
+from .api import BDDError, BddKernel, FALSE, TRUE, create_kernel
 
 __all__ = ["rebuild_with_levels", "count_nodes_under_order", "sift_order"]
 
 
 def rebuild_with_levels(
-    src: BDD,
+    src: BddKernel,
     roots: Sequence[int],
     level_map: Dict[int, int],
-    dst: BDD,
+    dst: BddKernel,
 ) -> List[int]:
     """Copy ``roots`` from ``src`` into ``dst`` with levels remapped.
 
@@ -66,7 +66,7 @@ def rebuild_with_levels(
 
 
 def count_nodes_under_order(
-    src: BDD,
+    src: BddKernel,
     roots: Sequence[int],
     block_order: Sequence[str],
     blocks: Dict[str, Sequence[int]],
@@ -80,7 +80,9 @@ def count_nodes_under_order(
             level_map[level] = next_level
             next_level += 1
     total_vars = max(src.num_vars, next_level)
-    dst = BDD(num_vars=total_vars)
+    # The scratch arena uses the same backend as the source kernel, so
+    # order-search node counts reflect the backend actually in use.
+    dst = create_kernel(num_vars=total_vars, backend=src.backend_name)
     new_roots = rebuild_with_levels(src, roots, level_map, dst)
     # Count shared nodes across all roots.
     seen = set()
@@ -96,7 +98,7 @@ def count_nodes_under_order(
 
 
 def sift_order(
-    src: BDD,
+    src: BddKernel,
     roots: Sequence[int],
     blocks: Dict[str, Sequence[int]],
     initial_order: Sequence[str],

@@ -28,7 +28,7 @@ from __future__ import annotations
 import pathlib
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .manager import BDD, BDDError, FALSE, TRUE
+from .api import BDDError, BddKernel, FALSE, TRUE
 
 __all__ = ["save_bdd", "load_bdd", "dump_bdd_lines", "parse_bdd_lines"]
 
@@ -37,7 +37,7 @@ PathLike = Union[str, pathlib.Path]
 _MAGIC = "# repro-bdd 1"
 
 
-def dump_bdd_lines(manager: BDD, roots: Sequence[int]) -> Tuple[List[str], int]:
+def dump_bdd_lines(manager: BddKernel, roots: Sequence[int]) -> Tuple[List[str], int]:
     """Serialize the BDDs rooted at ``roots`` to text lines.
 
     Returns ``(lines, node_count)``.  Node ids are canonical (assigned in
@@ -75,7 +75,7 @@ def dump_bdd_lines(manager: BDD, roots: Sequence[int]) -> Tuple[List[str], int]:
     return lines, len(order)
 
 
-def save_bdd(manager: BDD, roots: Sequence[int], path: PathLike) -> int:
+def save_bdd(manager: BddKernel, roots: Sequence[int], path: PathLike) -> int:
     """Write the BDDs rooted at ``roots`` to ``path``.
 
     Returns the number of (non-terminal) nodes written.
@@ -86,7 +86,7 @@ def save_bdd(manager: BDD, roots: Sequence[int], path: PathLike) -> int:
 
 
 def parse_bdd_lines(
-    manager: BDD,
+    manager: BddKernel,
     lines: Sequence[str],
     name: str = "<bdd>",
     first_lineno: int = 1,
@@ -175,7 +175,7 @@ def parse_bdd_lines(
     return roots
 
 
-def load_bdd(manager: BDD, path: PathLike) -> List[int]:
+def load_bdd(manager: BddKernel, path: PathLike) -> List[int]:
     """Load a file written by :func:`save_bdd`; returns the root handles.
 
     The target manager must have at least as many variables as the saved

@@ -77,6 +77,7 @@ class BenchmarkRun:
     escape_summary: Dict[str, int]
     refinement: Dict[str, Tuple[float, float]]  # variant -> (multi%, refinable%)
     degraded: List[str] = field(default_factory=list)
+    backend: str = ""  # BddKernel backend that produced these numbers
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (tuples become lists) — the worker protocol and
@@ -96,6 +97,7 @@ class BenchmarkRun:
             "escape_summary": dict(self.escape_summary),
             "refinement": {k: list(v) for k, v in self.refinement.items()},
             "degraded": list(self.degraded),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -115,6 +117,7 @@ class BenchmarkRun:
             escape_summary=dict(data["escape_summary"]),
             refinement={k: tuple(v) for k, v in data["refinement"].items()},
             degraded=list(data.get("degraded", ())),
+            backend=str(data.get("backend", "")),
         )
 
 
@@ -123,6 +126,7 @@ def run_benchmark(
     timeout: Optional[float] = None,
     node_budget: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> BenchmarkRun:
     """Run every analysis of Figure 4 on one corpus entry.
 
@@ -143,6 +147,9 @@ def run_benchmark(
             return None
         return ResourceBudget(timeout=timeout, node_budget=node_budget)
 
+    from ..bdd import resolve_backend_name
+
+    backend = resolve_backend_name(backend)
     entry = corpus_entry(name)
     program = entry.build()
     facts = extract_facts(program)
@@ -152,14 +159,14 @@ def run_benchmark(
 
     alg1 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=False, discover_call_graph=False,
-        call_graph=cha, budget=budget(),
+        call_graph=cha, budget=budget(), backend=backend,
     ).run()
     alg1_stats = (alg1.seconds, alg1.peak_nodes)
     del alg1
 
     alg2 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=False,
-        call_graph=cha, budget=budget(),
+        call_graph=cha, budget=budget(), backend=backend,
     ).run()
     alg2_stats = (alg2.seconds, alg2.peak_nodes)
     del alg2, cha
@@ -167,6 +174,7 @@ def run_benchmark(
     alg3_nofilter = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=False, discover_call_graph=True,
         query_fragments=["query_refinement_ci"], budget=budget(),
+        backend=backend,
     ).run()
     refinement["ci_nofilter"] = refinement_stats(alg3_nofilter, "ci").as_row()
     del alg3_nofilter
@@ -174,6 +182,7 @@ def run_benchmark(
     alg3 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=True,
         query_fragments=["query_refinement_ci"], budget=budget(),
+        backend=backend,
     ).run()
     refinement["ci_filter"] = refinement_stats(alg3, "ci").as_row()
     alg3_stats = (alg3.seconds, alg3.peak_nodes)
@@ -188,7 +197,7 @@ def run_benchmark(
     alg5 = ContextSensitiveAnalysis(
         facts=facts, call_graph=graph,
         query_fragments=["query_refinement_cs_pointer"],
-        budget=budget(), checkpoint_dir=checkpoint_dir,
+        budget=budget(), checkpoint_dir=checkpoint_dir, backend=backend,
     ).run()
     if alg5.degraded:
         degraded.append(f"alg5:{alg5.degradation.final_mode}")
@@ -210,7 +219,7 @@ def run_benchmark(
     alg6 = ContextSensitiveTypeAnalysis(
         facts=facts, call_graph=graph,
         query_fragments=["query_refinement_cs_type"],
-        budget=budget(), checkpoint_dir=checkpoint_dir,
+        budget=budget(), checkpoint_dir=checkpoint_dir, backend=backend,
     ).run()
     if alg6.degraded:
         degraded.append(f"alg6:{alg6.degradation.final_mode}")
@@ -224,7 +233,7 @@ def run_benchmark(
     del alg6
 
     alg7 = ThreadEscapeAnalysis(
-        facts=facts, call_graph=graph, budget=budget()
+        facts=facts, call_graph=graph, budget=budget(), backend=backend
     ).run()
     alg7_stats = (alg7.seconds, alg7.peak_nodes)
     escape_summary = alg7.summary()
@@ -245,6 +254,7 @@ def run_benchmark(
         escape_summary=escape_summary,
         refinement=refinement,
         degraded=degraded,
+        backend=backend,
     )
 
 
@@ -255,6 +265,7 @@ def run_corpus(
     node_budget: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     names: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> List[BenchmarkRun]:
     """Benchmark the whole corpus; a budget-exhausted entry is skipped
     (with a note) instead of aborting the remaining entries."""
@@ -267,6 +278,7 @@ def run_corpus(
                 timeout=timeout,
                 node_budget=node_budget,
                 checkpoint_dir=checkpoint_dir,
+                backend=backend,
             )
         except ReproError as err:
             if verbose:
@@ -296,6 +308,7 @@ def run_corpus_supervised(
     memory_limit_mb: Optional[int] = None,
     deadline: Optional[float] = None,
     entry_env: Optional[Dict[str, Dict[str, str]]] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[BenchmarkRun], List[Dict[str, Any]]]:
     """Benchmark the corpus with per-entry process isolation.
 
@@ -330,6 +343,7 @@ def run_corpus_supervised(
             "timeout": timeout,
             "node_budget": node_budget,
             "checkpoint_dir": checkpoint_dir,
+            "backend": backend,
         }
         if entry_env and name in entry_env:
             job["env"] = dict(entry_env[name])
@@ -820,6 +834,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--entries", metavar="NAME,NAME",
         help="run only these corpus entries (comma-separated)",
     )
+    parser.add_argument(
+        "--backend", metavar="NAME",
+        help="BDD kernel backend (default: $REPRO_BDD_BACKEND or "
+        "'reference'); see repro.bdd.api.available_backends",
+    )
     args = parser.parse_args(argv)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -849,6 +868,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 retries=args.retries,
                 memory_limit_mb=args.memory_limit,
                 deadline=args.deadline,
+                backend=args.backend,
             )
             crashed = any(not r["ok"] for r in records)
             bench_json = out / "BENCH_supervised.json"
@@ -871,6 +891,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 node_budget=args.node_budget,
                 checkpoint_dir=args.checkpoint_dir,
                 names=entries,
+                backend=args.backend,
             )
         if not runs:
             print("no corpus entry finished within the budget")

@@ -1,0 +1,285 @@
+"""Microbenchmarks for the pluggable BDD kernels (-> BENCH_kernel.json).
+
+Two layers of measurement, both run under every backend being compared:
+
+* **Per-op microbenchmarks** on synthetic transition-relation workloads
+  (the shape the solver actually produces: a relation ``R(x, x')`` over
+  interleaved variables, frontier sets ``S(x)``, and the
+  ``rel_prod`` / ``replace`` / ``exist`` loop of semi-naive iteration).
+  Each op is measured in two regimes: ``cold`` (operation caches cleared
+  before every call — the full recursive build) and ``warm`` (the same
+  call repeated — the public-entry + cache-probe path that dominates
+  once the fixpoint loop revisits stable relations).
+* **Whole-solve wall clock**: the context-sensitive analysis
+  (Algorithm 5) on real corpus entries.
+
+The JSON artifact records the measured seconds and the
+reference/<backend> speedup ratio for every cell; nothing is projected
+or extrapolated.  Run with::
+
+    python -m repro.bench.kernel_bench --out results
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.api import BddKernel, create_kernel
+
+__all__ = ["bench_ops", "bench_solves", "run_kernel_bench", "main"]
+
+DEFAULT_BACKENDS = ("reference", "packed")
+
+# Synthetic workload shape: k-bit state space, R(x, x') interleaved.
+_BITS = 12
+_EDGES = 220
+_SEEDS = (11, 23, 47)
+
+
+def _levels(bits: int) -> Tuple[List[int], List[int]]:
+    """Interleaved x / x' level blocks (x_i at 2i, x'_i at 2i+1)."""
+    return [2 * i for i in range(bits)], [2 * i + 1 for i in range(bits)]
+
+
+def _encode(m: BddKernel, value: int, levels: Sequence[int]) -> int:
+    lits = [
+        (lvl, bool((value >> (len(levels) - 1 - i)) & 1))
+        for i, lvl in enumerate(levels)
+    ]
+    return m.cube(lits)
+
+
+def _workload(m: BddKernel, seed: int) -> Dict[str, int]:
+    """Build one deterministic transition system in ``m``."""
+    rng = random.Random(seed)
+    x, xp = _levels(_BITS)
+    space = 1 << _BITS
+    r = 0
+    for _ in range(_EDGES):
+        a, b = rng.randrange(space), rng.randrange(space)
+        edge = m.and_(_encode(m, a, x), _encode(m, b, xp))
+        r = m.or_(r, edge)
+    s = 0
+    for _ in range(40):
+        s = m.or_(s, _encode(m, rng.randrange(space), x))
+    return {
+        "R": r,
+        "S": s,
+        "varset": m.varset(x),
+        "map": m.replace_map({b: a for a, b in zip(x, xp)}),
+    }
+
+
+def _time(fn, repeat: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return time.perf_counter() - t0
+
+
+def bench_ops(
+    backend: str, cold_repeat: int = 60, warm_budget_s: float = 0.35
+) -> Dict[str, Dict[str, float]]:
+    """Per-op cold/warm *per-call* seconds for one backend (averaged over
+    seeds).  Warm repeats are calibrated per op so an expensive op (e.g.
+    the uncached ``sat_count`` walk) does not blow up the wall clock;
+    reporting per-call time keeps backends comparable regardless."""
+    x, xp = _levels(_BITS)
+    totals: Dict[str, Dict[str, List[float]]] = {}
+
+    def record(op: str, regime: str, seconds: float, calls: int) -> None:
+        cell = totals.setdefault(op, {})
+        sec, n = cell.get(regime, (0.0, 0))
+        cell[regime] = (sec + seconds, n + calls)
+
+    for seed in _SEEDS:
+        m = create_kernel(num_vars=2 * _BITS, backend=backend)
+        w = _workload(m, seed)
+        R, S, vs, mp = w["R"], w["S"], w["varset"], w["map"]
+        ops = {
+            "and": lambda: m.and_(R, S),
+            "or": lambda: m.or_(R, S),
+            "diff": lambda: m.diff(R, S),
+            "exist": lambda: m.exist(R, vs),
+            "rel_prod": lambda: m.rel_prod(S, R, vs),
+            "replace": lambda: m.replace(m.rel_prod(S, R, vs), mp),
+            "sat_count": lambda: m.sat_count(R, x + xp),
+        }
+        for op, fn in ops.items():
+            cold = 0.0
+            for _ in range(cold_repeat):
+                m.clear_caches()
+                cold += _time(fn, 1)
+            record(op, "cold", cold, cold_repeat)
+            m.clear_caches()
+            once = _time(fn, 1)  # prime the caches
+            repeat = max(50, min(50_000, int(warm_budget_s / max(once, 1e-7))))
+            # Subtract the loop + closure dispatch overhead (timeit
+            # style): both backends pay it identically, so leaving it in
+            # would only dilute the warm-regime ratio toward 1.
+            noop = lambda: None  # noqa: E731
+            overhead = _time(noop, repeat)
+            record(op, "warm", max(_time(fn, repeat) - overhead, 0.0), repeat)
+        # One realistic reachability fixpoint (rel_prod + replace + or
+        # until closure), cold per iteration like a growing frontier.
+        m.clear_caches()
+        t0 = time.perf_counter()
+        reach = S
+        while True:
+            step = m.replace(m.rel_prod(reach, R, vs), mp)
+            nxt = m.or_(reach, step)
+            if nxt == reach:
+                break
+            reach = nxt
+        record("reach_fixpoint", "cold", time.perf_counter() - t0, 1)
+    # Average per-call seconds across the seeds.
+    out: Dict[str, Dict[str, float]] = {}
+    for op, cell in totals.items():
+        out[op] = {
+            regime: sec / calls for regime, (sec, calls) in cell.items()
+        }
+    return out
+
+
+def bench_solves(
+    backend: str, entries: Sequence[str]
+) -> Dict[str, Dict[str, Any]]:
+    """Whole-program Algorithm 5 wall clock per corpus entry."""
+    from ..analysis import ContextSensitiveAnalysis
+    from ..ir.facts import extract_facts
+    from .corpus import corpus_entry
+
+    out: Dict[str, Dict[str, Any]] = {}
+    for name in entries:
+        facts = extract_facts(corpus_entry(name).build())
+        t0 = time.monotonic()
+        result = ContextSensitiveAnalysis(facts=facts, backend=backend).run()
+        out[name] = {
+            "seconds": round(time.monotonic() - t0, 3),
+            "peak_nodes": result.peak_nodes,
+            "vPC": result.relation("vPC").count(),
+        }
+        del result
+    return out
+
+
+def _ratios(by_backend: Dict[str, float], base: str) -> Dict[str, float]:
+    """reference-relative speedups (>1 means faster than ``base``)."""
+    ref = by_backend.get(base)
+    out = {}
+    for be, seconds in by_backend.items():
+        if be == base or not seconds or not ref:
+            continue
+        out[be] = round(ref / seconds, 3)
+    return out
+
+
+def run_kernel_bench(
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    entries: Sequence[str] = ("jetty", "gruntspud"),
+    cold_repeat: int = 60,
+    warm_budget_s: float = 0.35,
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    base = backends[0]
+    micro: Dict[str, Any] = {}
+    raw_ops = {}
+    for be in backends:
+        if verbose:
+            print(f"micro: {be} ...", flush=True)
+        raw_ops[be] = bench_ops(be, cold_repeat, warm_budget_s)
+    for op in raw_ops[base]:
+        micro[op] = {}
+        for regime in raw_ops[base][op]:
+            # Per-call microseconds, plus the baseline-relative speedup.
+            cell = {
+                be: round(raw_ops[be][op][regime] * 1e6, 3)
+                for be in backends
+            }
+            cell["speedup"] = _ratios(
+                {be: raw_ops[be][op][regime] for be in backends}, base
+            )
+            micro[op][regime] = cell
+
+    solves: Dict[str, Any] = {}
+    raw_solves = {}
+    for be in backends:
+        if verbose:
+            print(f"solve: {be} {list(entries)} ...", flush=True)
+        raw_solves[be] = bench_solves(be, entries)
+    for name in entries:
+        cell: Dict[str, Any] = {
+            be: raw_solves[be][name] for be in backends
+        }
+        cell["speedup"] = _ratios(
+            {be: raw_solves[be][name]["seconds"] for be in backends}, base
+        )
+        solves[name] = cell
+
+    return {
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "backends": list(backends),
+            "baseline": base,
+            "bits": _BITS,
+            "edges": _EDGES,
+            "seeds": list(_SEEDS),
+            "cold_repeat": cold_repeat,
+            "warm_budget_s": warm_budget_s,
+            "microbench_unit": "microseconds per call",
+        },
+        "microbench": micro,
+        "solves": solves,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--backends", default=",".join(DEFAULT_BACKENDS), metavar="A,B",
+        help="backends to compare; the first is the baseline "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--entries", default="jetty,gruntspud", metavar="NAME,NAME",
+        help="corpus entries for the whole-solve rows (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny repeat counts and the smallest corpus entry (CI)",
+    )
+    args = parser.parse_args(argv)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    entries = [n.strip() for n in args.entries.split(",") if n.strip()]
+    kwargs: Dict[str, Any] = {}
+    if args.smoke:
+        kwargs = {"cold_repeat": 3, "warm_budget_s": 0.02}
+        entries = ["freetts"]
+    data = run_kernel_bench(backends=backends, entries=entries, **kwargs)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    artifact = out / "BENCH_kernel.json"
+    artifact.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {artifact}")
+    for op, regimes in data["microbench"].items():
+        for regime, cell in regimes.items():
+            print(f"  {op:<14} {regime:<5} {cell}")
+    for name, cell in data["solves"].items():
+        print(f"  solve {name}: {cell}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..bdd import BDD, Domain, FALSE
+from ..bdd import BddKernel, Domain, FALSE
 from ..bdd.domain import offset_relation
 from .graph import CallGraph, Edge
 
@@ -83,7 +83,7 @@ class ContextNumbering:
 
     def build_iec(
         self,
-        manager: BDD,
+        manager: BddKernel,
         c_caller: Domain,
         i_dom: Domain,
         c_callee: Domain,
@@ -134,7 +134,7 @@ class ContextNumbering:
             node = manager.or_(node, ident)
         return node
 
-    def build_mc(self, manager: BDD, c_dom: Domain, m_dom: Domain) -> int:
+    def build_mc(self, manager: BddKernel, c_dom: Domain, m_dom: Domain) -> int:
         """``MC(c, m)``: method ``m`` executes in contexts ``1..counts[m]``.
 
         Used to context-qualify the residual local assignments (the paper

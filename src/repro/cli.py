@@ -131,7 +131,9 @@ def _load(args, path: Optional[str] = None) -> "tuple":
 def _cmd_stats(args) -> int:
     program, facts = _load(args)
     stats = program.stats()
-    ci = ContextInsensitiveAnalysis(facts=facts, budget=_budget_of(args)).run()
+    ci = ContextInsensitiveAnalysis(
+        facts=facts, budget=_budget_of(args), backend=args.backend
+    ).run()
     entry = facts.method_id(f"{args.main}.main")
     numbering = number_call_graph(ci.discovered_call_graph, entries=[entry])
     print(f"classes:     {stats['classes']}")
@@ -194,6 +196,7 @@ def _cmd_analyze_isolated(args, paths: List[str]) -> int:
                 "max_iterations": args.max_iterations,
                 "checkpoint_dir": args.checkpoint_dir,
                 "vars": list(args.var or ()),
+                "backend": args.backend,
             }
         )
     # The cooperative --timeout doubles as a hard backstop: a worker that
@@ -271,6 +274,7 @@ def _analyze_one(args, path: str) -> int:
             budget=budget,
             checkpoint_dir=args.checkpoint_dir,
             degrade=not args.no_degrade,
+            backend=args.backend,
         ).run()
         _print_degradation(result)
         report = result.degradation
@@ -287,7 +291,9 @@ def _analyze_one(args, path: str) -> int:
                 f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
             )
     else:
-        result = ContextInsensitiveAnalysis(facts=facts, budget=budget).run()
+        result = ContextInsensitiveAnalysis(
+            facts=facts, budget=budget, backend=args.backend
+        ).run()
         print(
             f"context-insensitive points-to: "
             f"{result.relation('vP').count()} (variable, heap) tuples, "
@@ -363,7 +369,7 @@ def _query_db(args) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
-    db = PointsToDatabase.load(args.db)
+    db = PointsToDatabase.load(args.db, backend=args.backend)
     engine = QueryEngine(db, default_timeout=args.timeout)
     query_args = {}
     if args.kind == "points-to":
@@ -518,7 +524,10 @@ def _cmd_datalog(args) -> int:
         program = parse_datalog(source, domain_sizes=sizes or None)
     except DatalogError as err:
         raise DatalogError(f"{args.program}: {err}") from err
-    solver = Solver(program, naive=args.naive, budget=_budget_of(args))
+    solver = Solver(
+        program, naive=args.naive, budget=_budget_of(args),
+        backend=args.backend,
+    )
     if args.facts:
         if not pathlib.Path(args.facts).is_dir():
             raise FileNotFoundError(2, "fact directory not found", args.facts)
@@ -553,6 +562,7 @@ def _cmd_compile_db(args) -> int:
         main=args.main,
         modref=not args.no_modref,
         budget=_budget_of(args),
+        backend=args.backend,
     )
     solve_seconds = time.monotonic() - start
     nodes = db.save(out)
@@ -574,7 +584,7 @@ def _cmd_serve(args) -> int:
     """Serve demand queries for a compiled database over TCP."""
     from .serve import PointsToDatabase, PointsToServer
 
-    db = PointsToDatabase.load(args.db)
+    db = PointsToDatabase.load(args.db, backend=args.backend)
     server = PointsToServer(
         db,
         host=args.host,
@@ -597,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def budget_flags(p):
+        p.add_argument(
+            "--backend", metavar="NAME",
+            help="BDD kernel backend: reference or packed (default: "
+            "$REPRO_BDD_BACKEND or 'reference')",
+        )
         p.add_argument(
             "--timeout", type=float, metavar="SECONDS",
             help="wall-clock budget for the whole command",
@@ -774,6 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
         help="close connections idle for this long (default 300)",
     )
+    p_serve.add_argument(
+        "--backend", metavar="NAME",
+        help="BDD kernel backend for the in-memory arena (default: "
+        "$REPRO_BDD_BACKEND or 'reference')",
+    )
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -781,6 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        backend = getattr(args, "backend", None)
+        if backend is not None:
+            # Validate up front (typo-proofing) and export so every layer
+            # — including worker subprocesses, which inherit the
+            # environment — resolves to the same kernel.
+            from .bdd.api import BACKEND_ENV_VAR, resolve_backend_name
+
+            os.environ[BACKEND_ENV_VAR] = resolve_backend_name(backend)
         return args.func(args)
     except BrokenPipeError:
         # The consumer of our stdout (`head`, `grep -q`, ...) exited

@@ -19,7 +19,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from ..bdd import BDD, BDDError, Domain, FALSE, TRUE, bits_for
+from ..bdd import (
+    BDDError,
+    Domain,
+    FALSE,
+    TRUE,
+    bits_for,
+    create_kernel,
+    resolve_backend_name,
+)
 from ..bdd.domain import equality_relation
 from ..bdd.ordering import assign_levels
 from ..runtime import faults
@@ -71,6 +79,9 @@ class SolveStats:
     # also count toward the node budget (see Watchdog.check).
     peak_cache_entries: int = 0
     cache_clears: int = 0
+    # Which BddKernel backend produced these numbers (provenance for the
+    # benchmark tables and the differential harness).
+    backend: str = ""
 
     @property
     def peak_bytes(self) -> int:
@@ -90,10 +101,15 @@ class Solver:
         gc_threshold: int = 4_000_000,
         cache_limit: int = 2_000_000,
         budget: Optional[ResourceBudget] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.program = program
         self.naive = naive
         self.budget = budget
+        # Resolve the kernel backend once (explicit argument beats the
+        # REPRO_BDD_BACKEND environment variable beats the default) so the
+        # choice is recorded even if the environment later changes.
+        self.backend = resolve_backend_name(backend)
         self.gc_threshold = gc_threshold
         self.cache_limit = cache_limit
         self.name_maps: Dict[str, List[str]] = {
@@ -132,7 +148,9 @@ class Solver:
         )
         levels = assign_levels(self.order_spec, domain_bits)
         total_bits = sum(domain_bits.values())
-        self.manager = BDD(num_vars=total_bits, cache_limit=cache_limit)
+        self.manager = create_kernel(
+            num_vars=total_bits, cache_limit=cache_limit, backend=self.backend
+        )
         self._pool: Dict[PhysRef, Domain] = {}
         for logical, count in self._instances.items():
             size = program.domains[logical].size
@@ -342,6 +360,7 @@ class Solver:
             m.peak_cache_entries = entries
         self.stats.peak_cache_entries = m.peak_cache_entries
         self.stats.cache_clears = m.cache_clears
+        self.stats.backend = m.backend_name
 
     def _iteration_limit(self) -> int:
         if self.budget is not None and self.budget.max_iterations is not None:

@@ -40,7 +40,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
-from ..bdd import BDD, BDDError
+from ..bdd import BDDError, create_kernel
 from ..bdd.reorder import rebuild_with_levels
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
 from .errors import CheckpointError, InvalidInputError
@@ -118,6 +118,9 @@ def save_checkpoint(
         "levels": _levels_of(solver),
         "num_vars": solver.manager.num_vars,
         "order_spec": solver.order_spec,
+        # Provenance only: the payload is canonical serialization, so any
+        # backend can resume a checkpoint written by any other.
+        "backend": solver.manager.backend_name,
         "next_stratum": next_stratum,
         "stats": {
             "iterations": solver.stats.iterations,
@@ -249,7 +252,10 @@ def load_checkpoint(solver, path: PathLike) -> CheckpointMeta:
         else:
             # Different variable order: stage in a scratch manager, then
             # rebuild under the target's levels (order-correcting ite).
-            scratch = BDD(num_vars=int(meta.get("num_vars", solver.manager.num_vars)))
+            scratch = create_kernel(
+                num_vars=int(meta.get("num_vars", solver.manager.num_vars)),
+                backend=solver.manager.backend_name,
+            )
             staged = parse_bdd_lines(
                 scratch, payload, name=str(target), first_lineno=5
             )

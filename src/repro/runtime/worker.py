@@ -99,7 +99,7 @@ def _job_solve_tc(job: Dict[str, Any]) -> Dict[str, Any]:
 
     n = int(job.get("chain", 12))
     prog = parse_program(_TC_SOURCE)
-    solver = Solver(prog, budget=_budget_from(job))
+    solver = Solver(prog, budget=_budget_from(job), backend=job.get("backend"))
     solver.add_tuples("edge", [(i, i + 1) for i in range(n)])
     t0 = time.monotonic()
     solver.solve()
@@ -108,6 +108,7 @@ def _job_solve_tc(job: Dict[str, Any]) -> Dict[str, Any]:
         "iterations": solver.stats.iterations,
         "solve_seconds": time.monotonic() - t0,
         "peak_nodes": solver.manager.peak_nodes,
+        "backend": solver.manager.backend_name,
     }
 
 
@@ -141,9 +142,12 @@ def _job_analyze(job: Dict[str, Any]) -> Dict[str, Any]:
     )
     facts = extract_facts(program)
     budget = _budget_from(job)
+    backend = job.get("backend")
     t0 = time.monotonic()
     if not job.get("context_sensitive", True):
-        result = ContextInsensitiveAnalysis(facts=facts, budget=budget).run()
+        result = ContextInsensitiveAnalysis(
+            facts=facts, budget=budget, backend=backend
+        ).run()
         solve_seconds = time.monotonic() - t0
         out = {
             "relation": "vP",
@@ -160,6 +164,7 @@ def _job_analyze(job: Dict[str, Any]) -> Dict[str, Any]:
             checkpoint_dir=job.get("checkpoint_dir"),
             degrade=False,
             truncate_cap=int(job.get("truncate_cap", 64)),
+            backend=backend,
         )
         result = analysis.run_rung(mode)
         solve_seconds = time.monotonic() - t0
@@ -183,6 +188,7 @@ def _job_analyze(job: Dict[str, Any]) -> Dict[str, Any]:
     out["seconds"] = result.seconds
     out["solve_seconds"] = solve_seconds
     out["peak_nodes"] = result.peak_nodes
+    out["backend"] = result.solver.manager.backend_name
     return out
 
 
@@ -195,6 +201,7 @@ def _job_bench(job: Dict[str, Any]) -> Dict[str, Any]:
         timeout=job.get("timeout"),
         node_budget=job.get("node_budget"),
         checkpoint_dir=job.get("checkpoint_dir"),
+        backend=job.get("backend"),
     )
     out = run.to_dict()
     out["solve_seconds"] = time.monotonic() - t0

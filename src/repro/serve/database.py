@@ -41,7 +41,7 @@ import pathlib
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..bdd import BDD, BDDError, Domain
+from ..bdd import BDDError, Domain, create_kernel
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
 from ..datalog.relation import Attribute, Relation
 from ..ir.facts import Facts, extract_facts
@@ -240,17 +240,22 @@ class PointsToDatabase:
         return node_count
 
     @classmethod
-    def load(cls, path: PathLike) -> "PointsToDatabase":
+    def load(
+        cls, path: PathLike, backend: Optional[str] = None
+    ) -> "PointsToDatabase":
         """Load a ``.ptdb`` file in O(file) — no solving, no program parse.
 
-        Raises :class:`InvalidInputError` for anything wrong with the
-        file: bad magic, version mismatch, checksum failure, truncation,
-        or a corrupt BDD payload (with the offending line number).
+        ``backend`` selects the BDD kernel for the in-memory arena (the
+        file format is backend-agnostic, so any backend can load any
+        database and the resulting ``db_id`` is identical).  Raises
+        :class:`InvalidInputError` for anything wrong with the file: bad
+        magic, version mismatch, checksum failure, truncation, or a
+        corrupt BDD payload (with the offending line number).
         """
         target = pathlib.Path(path)
         meta, payload, digest = _read_envelope(target)
         num_vars = int(meta.get("num_vars", 0))
-        manager = BDD(num_vars=num_vars)
+        manager = create_kernel(num_vars=num_vars, backend=backend)
         domains: Dict[str, Domain] = {}
         relations: Dict[str, Relation] = {}
         schema = meta.get("relations")
@@ -293,8 +298,17 @@ class PointsToDatabase:
         )
 
 
+# Meta keys that vary run to run (wall-clock timings, tool build info,
+# kernel backend) without changing the analysis *answer*.  They are
+# excluded from the database identity so that two compilations of the
+# same program — on different machines, different days, or different BDD
+# backends — produce the same ``db_id`` whenever their relations agree.
+_VOLATILE_META = frozenset({"stats", "tool", "backend"})
+
+
 def _db_id(meta: Dict[str, Any], payload_digest: str) -> str:
-    meta_text = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    stable = {k: v for k, v in meta.items() if k not in _VOLATILE_META}
+    meta_text = json.dumps(stable, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(
         (meta_text + "\n" + payload_digest).encode()
     ).hexdigest()[:16]
@@ -367,6 +381,7 @@ def compile_database(
     modref: bool = True,
     budget: Optional[ResourceBudget] = None,
     order_spec: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> PointsToDatabase:
     """Solve a program once and package the result as a database.
 
@@ -401,6 +416,7 @@ def compile_database(
         type_filtering=True,
         discover_call_graph=True,
         budget=budget.share_deadline() if budget is not None else None,
+        backend=backend,
     ).run()
     timings["context_insensitive_s"] = time.monotonic() - t0
     graph = ci.discovered_call_graph
@@ -421,6 +437,7 @@ def compile_database(
             else None
         ),
         degrade=False,
+        backend=backend,
     ).run()
     timings["context_sensitive_s"] = time.monotonic() - t0
 
@@ -429,6 +446,7 @@ def compile_database(
         facts=facts,
         call_graph=graph,
         budget=budget.share_deadline() if budget is not None else None,
+        backend=backend,
     ).run()
     timings["escape_s"] = time.monotonic() - t0
     escaped = sorted(esc.escaped_heaps())
@@ -483,6 +501,9 @@ def compile_database(
     meta: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "tool": tool_meta(),
+        # Provenance only (volatile, excluded from db_id): which kernel
+        # backend compiled this database.
+        "backend": solver.manager.backend_name,
         "num_vars": solver.manager.num_vars,
         "relations": schema,
         "maps": facts.maps,
