@@ -3,7 +3,8 @@
 1. semi-naive (incrementalized) vs naive evaluation (Section 2.4.1),
 2. variable order: context bits deepest vs first (Section 2.4.2),
 3. type filtering cost/benefit (Section 2.3),
-4. contiguous vs randomized context numbering (Section 4.1).
+4. the Datalog plan-optimizer pass pipeline on vs off,
+5. contiguous vs randomized context numbering (Section 4.1).
 """
 
 from conftest import write_result
@@ -33,6 +34,12 @@ def test_ablations(benchmark):
     # "Along with being more accurate, the points-to sets are much
     # smaller in the type-filtered version."
     assert typefilter["on_tuples"] <= typefilter["off_tuples"]
+
+    planopt = by_name["planopt"]
+    # The optimizer exists to execute fewer rename (replace) operations;
+    # it must never execute more total ops than the greedy plans.
+    assert planopt["on_replace"] <= planopt["off_replace"]
+    assert planopt["on_ops"] <= planopt["off_ops"]
 
     numbering = by_name["numbering"]
     # "It is important to find a context numbering scheme that allows the

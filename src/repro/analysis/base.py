@@ -59,6 +59,9 @@ def make_solver(
     extra_text: str = "",
     budget: Optional[ResourceBudget] = None,
     backend: Optional[str] = None,
+    optimize: Optional[bool] = None,
+    disabled_passes: Optional[Sequence[str]] = None,
+    trace_ops: bool = False,
 ) -> Solver:
     """Build a solver for ``source`` sized and named from ``facts``.
 
@@ -87,6 +90,9 @@ def make_solver(
         naive=naive,
         budget=budget,
         backend=backend,
+        optimize=optimize,
+        disabled_passes=disabled_passes,
+        trace_ops=trace_ops,
     )
     for decl in program.relations.values():
         if decl.is_input and decl.name in facts.relations:

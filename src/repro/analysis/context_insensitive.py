@@ -131,6 +131,9 @@ class ContextInsensitiveAnalysis:
         extra_text: str = "",
         budget=None,
         backend: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        disabled_passes: Optional[Sequence[str]] = None,
+        trace_ops: bool = False,
     ) -> None:
         if facts is None:
             if program is None:
@@ -146,6 +149,9 @@ class ContextInsensitiveAnalysis:
         self.extra_text = extra_text
         self.budget = budget
         self.backend = backend
+        self.optimize = optimize
+        self.disabled_passes = disabled_passes
+        self.trace_ops = trace_ops
 
     def algorithm_name(self) -> str:
         if self.discover_call_graph:
@@ -163,6 +169,9 @@ class ContextInsensitiveAnalysis:
             extra_text=self.extra_text,
             budget=self.budget,
             backend=self.backend,
+            optimize=self.optimize,
+            disabled_passes=self.disabled_passes,
+            trace_ops=self.trace_ops,
         )
         discovered = None
         if self.discover_call_graph:

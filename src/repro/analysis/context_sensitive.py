@@ -116,6 +116,9 @@ class ContextSensitiveAnalysis:
         degrade: bool = True,
         truncate_cap: int = 64,
         backend: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        disabled_passes: Optional[Sequence[str]] = None,
+        trace_ops: bool = False,
     ) -> None:
         if facts is None:
             if program is None:
@@ -139,6 +142,9 @@ class ContextSensitiveAnalysis:
         self.degrade = degrade
         self.truncate_cap = truncate_cap
         self.backend = backend
+        self.optimize = optimize
+        self.disabled_passes = disabled_passes
+        self.trace_ops = trace_ops
 
     # ------------------------------------------------------------------
 
@@ -152,6 +158,8 @@ class ContextSensitiveAnalysis:
             type_filtering=True,
             discover_call_graph=True,
             backend=self.backend,
+            optimize=self.optimize,
+            disabled_passes=self.disabled_passes,
         ).run()
         return ci.discovered_call_graph
 
@@ -180,6 +188,9 @@ class ContextSensitiveAnalysis:
             extra_text=self.extra_text,
             budget=budget,
             backend=self.backend,
+            optimize=self.optimize,
+            disabled_passes=self.disabled_passes,
+            trace_ops=self.trace_ops,
         )
         if install:
             self._install_numbering(solver, numbering, graph)
@@ -237,6 +248,8 @@ class ContextSensitiveAnalysis:
                 discover_call_graph=True,
                 budget=self.budget,
                 backend=self.backend,
+                optimize=self.optimize,
+                disabled_passes=self.disabled_passes,
             ).run()
             result.degraded = True
             result.resumed = False
@@ -315,6 +328,8 @@ class ContextSensitiveAnalysis:
                     discover_call_graph=True,
                     budget=budget.share_deadline(),
                     backend=self.backend,
+                    optimize=self.optimize,
+                    disabled_passes=self.disabled_passes,
                 ).run()
                 graph = ci_result.discovered_call_graph
 
@@ -441,6 +456,8 @@ class ContextSensitiveAnalysis:
                         discover_call_graph=True,
                         budget=budget.share_deadline(),
                         backend=self.backend,
+                        optimize=self.optimize,
+                        disabled_passes=self.disabled_passes,
                     ).run()
             except ReproError as err:
                 report.record(

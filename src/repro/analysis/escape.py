@@ -134,6 +134,9 @@ class ThreadEscapeAnalysis:
         order_spec: Optional[str] = None,
         budget=None,
         backend: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        disabled_passes: Optional[Sequence[str]] = None,
+        trace_ops: bool = False,
     ) -> None:
         if facts is None:
             if program is None:
@@ -145,6 +148,9 @@ class ThreadEscapeAnalysis:
         self.order_spec = order_spec
         self.budget = budget
         self.backend = backend
+        self.optimize = optimize
+        self.disabled_passes = disabled_passes
+        self.trace_ops = trace_ops
 
     # ------------------------------------------------------------------
 
@@ -158,6 +164,8 @@ class ThreadEscapeAnalysis:
             type_filtering=True,
             discover_call_graph=True,
             backend=self.backend,
+            optimize=self.optimize,
+            disabled_passes=self.disabled_passes,
         ).run()
         return ci.discovered_call_graph
 
@@ -272,6 +280,9 @@ class ThreadEscapeAnalysis:
             order_spec=self.order_spec,
             budget=self.budget,
             backend=self.backend,
+            optimize=self.optimize,
+            disabled_passes=self.disabled_passes,
+            trace_ops=self.trace_ops,
         )
         solver.add_tuples("assign", assign)
         solver.add_tuples("HT", sorted(ht))

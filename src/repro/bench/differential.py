@@ -8,9 +8,16 @@ paper's Algorithms 1–7 (context-insensitive variants, context-sensitive
 pointer and type analyses, thread-escape) under each backend and
 compares structural fingerprints, not just scalar summaries.
 
+The same machinery covers the plan optimizer: a *config* is
+``backend[+opt|+noopt]``, and the default matrix crosses both backends
+with the optimizer on and off.  The optimizer only rewrites evaluation
+plans — never domain encodings or variable orders — so every config must
+fingerprint bit-identically.
+
 Usage::
 
     python -m repro.bench.differential --entries gruntspud --out results
+    python -m repro.bench.differential --configs reference+opt,reference+noopt
 
 Exit code 0 means every fingerprint matched; 1 means a divergence was
 found (the JSON artifact then pins down which algorithm/relation).
@@ -38,12 +45,37 @@ from .corpus import corpus_entry, corpus_names
 __all__ = [
     "relation_fingerprint",
     "backend_fingerprint",
+    "parse_config",
     "differential_entry",
     "run_differential",
     "main",
 ]
 
 DEFAULT_BACKENDS = ("reference", "packed")
+
+#: Default comparison matrix: both backends crossed with the plan
+#: optimizer on and off.  All four must be bit-identical.
+DEFAULT_CONFIGS = (
+    "reference+opt",
+    "reference+noopt",
+    "packed+opt",
+    "packed+noopt",
+)
+
+
+def parse_config(config: str) -> Tuple[str, Optional[bool]]:
+    """``backend[+opt|+noopt]`` -> (backend, optimize)."""
+    backend, _, suffix = config.partition("+")
+    if suffix == "opt":
+        return backend, True
+    if suffix == "noopt":
+        return backend, False
+    if suffix:
+        raise ValueError(
+            f"bad config {config!r}: expected backend, backend+opt "
+            f"or backend+noopt"
+        )
+    return backend, None
 
 #: Relations fingerprinted per algorithm (output relations that exist in
 #: every corpus entry's solve).
@@ -78,41 +110,44 @@ def _fingerprint(result, alg: str) -> Dict[str, Any]:
     return out
 
 
-def backend_fingerprint(name: str, backend: str) -> Dict[str, Any]:
+def backend_fingerprint(
+    name: str, backend: str, optimize: Optional[bool] = None
+) -> Dict[str, Any]:
     """Run Algorithms 1-7 (and the database compile) on one corpus entry
-    under one backend; return every structural fingerprint."""
+    under one backend and optimizer setting; return every structural
+    fingerprint."""
     from ..serve.database import compile_database
 
     entry = corpus_entry(name)
     facts = extract_facts(entry.build())
     cha = cha_call_graph(facts)
-    out: Dict[str, Any] = {"backend": backend}
+    out: Dict[str, Any] = {"backend": backend, "optimize": optimize}
     t0 = time.monotonic()
 
     alg1 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=False, discover_call_graph=False,
-        call_graph=cha, backend=backend,
+        call_graph=cha, backend=backend, optimize=optimize,
     ).run()
     out["alg1"] = _fingerprint(alg1, "alg1")
     del alg1
 
     alg2 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=False,
-        call_graph=cha, backend=backend,
+        call_graph=cha, backend=backend, optimize=optimize,
     ).run()
     out["alg2"] = _fingerprint(alg2, "alg2")
     del alg2, cha
 
     alg3 = ContextInsensitiveAnalysis(
         facts=facts, type_filtering=True, discover_call_graph=True,
-        backend=backend,
+        backend=backend, optimize=optimize,
     ).run()
     out["alg3"] = _fingerprint(alg3, "alg3")
     graph = alg3.discovered_call_graph
     del alg3
 
     alg5 = ContextSensitiveAnalysis(
-        facts=facts, call_graph=graph, backend=backend,
+        facts=facts, call_graph=graph, backend=backend, optimize=optimize,
     ).run()
     out["alg5"] = _fingerprint(alg5, "alg5")
     # Algorithm 4 is the context numbering itself; its observable is the
@@ -121,13 +156,13 @@ def backend_fingerprint(name: str, backend: str) -> Dict[str, Any]:
     del alg5
 
     alg6 = ContextSensitiveTypeAnalysis(
-        facts=facts, call_graph=graph, backend=backend,
+        facts=facts, call_graph=graph, backend=backend, optimize=optimize,
     ).run()
     out["alg6"] = _fingerprint(alg6, "alg6")
     del alg6
 
     alg7 = ThreadEscapeAnalysis(
-        facts=facts, call_graph=graph, backend=backend,
+        facts=facts, call_graph=graph, backend=backend, optimize=optimize,
     ).run()
     out["alg7"] = {
         "summary": alg7.summary(),
@@ -136,7 +171,7 @@ def backend_fingerprint(name: str, backend: str) -> Dict[str, Any]:
     }
     del alg7
 
-    db = compile_database(facts=facts, backend=backend)
+    db = compile_database(facts=facts, backend=backend, optimize=optimize)
     out["db_id"] = db.db_id
     out["db_backend"] = db.meta["backend"]
     del db
@@ -149,22 +184,24 @@ def _strip_volatile(fp: Dict[str, Any]) -> Dict[str, Any]:
     return {
         k: v
         for k, v in fp.items()
-        if k not in ("backend", "db_backend", "seconds")
+        if k not in ("backend", "optimize", "db_backend", "seconds")
     }
 
 
 def differential_entry(
-    name: str, backends: Sequence[str] = DEFAULT_BACKENDS
+    name: str, configs: Sequence[str] = DEFAULT_CONFIGS
 ) -> Dict[str, Any]:
-    """Compare every backend's fingerprints for one corpus entry."""
-    fps = {be: backend_fingerprint(name, be) for be in backends}
-    base = _strip_volatile(fps[backends[0]])
+    """Compare every config's fingerprints for one corpus entry."""
+    fps = {
+        cfg: backend_fingerprint(name, *parse_config(cfg)) for cfg in configs
+    }
+    base = _strip_volatile(fps[configs[0]])
     mismatches: List[str] = []
-    for be in backends[1:]:
-        other = _strip_volatile(fps[be])
+    for cfg in configs[1:]:
+        other = _strip_volatile(fps[cfg])
         for key in sorted(set(base) | set(other)):
             if base.get(key) != other.get(key):
-                mismatches.append(f"{be}:{key}")
+                mismatches.append(f"{cfg}:{key}")
     return {
         "name": name,
         "backends": fps,
@@ -175,7 +212,7 @@ def differential_entry(
 
 def run_differential(
     names: Optional[Sequence[str]] = None,
-    backends: Sequence[str] = DEFAULT_BACKENDS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
     verbose: bool = True,
 ) -> Tuple[List[Dict[str, Any]], bool]:
     """Differential-test the given corpus entries; returns
@@ -185,7 +222,7 @@ def run_differential(
     records = []
     ok = True
     for name in names:
-        record = differential_entry(name, backends)
+        record = differential_entry(name, configs)
         records.append(record)
         ok = ok and record["identical"]
         if verbose:
@@ -193,8 +230,8 @@ def run_differential(
                 "DIVERGED: " + ", ".join(record["mismatches"])
             )
             times = " ".join(
-                f"{be}={fp['seconds']}s"
-                for be, fp in record["backends"].items()
+                f"{cfg}={fp['seconds']}s"
+                for cfg, fp in record["backends"].items()
             )
             print(f"  [{name}: {verdict} ({times})]", flush=True)
     return records, ok
@@ -209,23 +246,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="corpus entries (default: the small subset)",
     )
     parser.add_argument(
-        "--backends", default=",".join(DEFAULT_BACKENDS), metavar="A,B",
-        help="backends to compare (default: %(default)s)",
+        "--configs", default=",".join(DEFAULT_CONFIGS), metavar="A,B",
+        help="configs (backend[+opt|+noopt]) to compare "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--backends", metavar="A,B",
+        help="shorthand: backends to compare with default optimizer "
+        "settings (overrides --configs)",
     )
     parser.add_argument("--out", default="results", help="output directory")
     args = parser.parse_args(argv)
     names = None
     if args.entries:
         names = [n.strip() for n in args.entries.split(",") if n.strip()]
-    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    print(f"Differential: backends {backends}", flush=True)
-    records, ok = run_differential(names=names, backends=backends)
+    if args.backends:
+        configs = [b.strip() for b in args.backends.split(",") if b.strip()]
+    else:
+        configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    for cfg in configs:
+        parse_config(cfg)  # validate before solving anything
+    print(f"Differential: configs {configs}", flush=True)
+    records, ok = run_differential(names=names, configs=configs)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     artifact = out / "DIFFERENTIAL.json"
     artifact.write_text(
         json.dumps(
-            {"backends": backends, "entries": records, "identical": ok},
+            {"backends": configs, "entries": records, "identical": ok},
             indent=2,
             sort_keys=True,
         )

@@ -691,7 +691,32 @@ def ablation_table(name: str = "jboss") -> Tuple[str, List[dict]]:
         }
     )
 
-    # 4. Contiguous vs randomized context numbering (Section 4.1).  The
+    # 4. Plan optimizer: executed BDD operations with the pass pipeline
+    # on vs off (the bddbddb-style query-plan optimization).
+    opt = ContextInsensitiveAnalysis(facts=facts, optimize=True).run()
+    unopt = ContextInsensitiveAnalysis(facts=facts, optimize=False).run()
+    opt_ops = opt.solver.stats.plan_ops
+    unopt_ops = unopt.solver.stats.plan_ops
+    lines.append(
+        f"  plan optimizer:     on {opt.seconds:.2f}s "
+        f"({opt_ops.get('replace', 0)} replace / "
+        f"{sum(opt_ops.values())} ops) vs off {unopt.seconds:.2f}s "
+        f"({unopt_ops.get('replace', 0)} replace / "
+        f"{sum(unopt_ops.values())} ops)"
+    )
+    rows.append(
+        {
+            "ablation": "planopt",
+            "on_s": opt.seconds,
+            "off_s": unopt.seconds,
+            "on_replace": opt_ops.get("replace", 0),
+            "off_replace": unopt_ops.get("replace", 0),
+            "on_ops": sum(opt_ops.values()),
+            "off_ops": sum(unopt_ops.values()),
+        }
+    )
+
+    # 5. Contiguous vs randomized context numbering (Section 4.1).  The
     # randomized IEC can only be built tuple-by-tuple, so this ablation
     # runs on the smallest entry — which is exactly the point: random
     # numbering does not scale past toy context counts.

@@ -1,0 +1,303 @@
+"""Plan-optimizer benchmark and op-count regression harness.
+
+Two artifacts, both under ``results/``:
+
+* ``BENCH_plan.json`` — per-corpus-entry comparison of the optimized
+  pipeline against unoptimized plans plus a leave-one-out ablation of
+  every pass (``opt-no-<pass>``), recording executed op counts by kind
+  (``replace`` is the headline — the op the optimizer exists to shrink),
+  static op counts, and best-of-N wall-clock for the whole solve
+  (solver construction *including* optimization time, plus the fixpoint).
+* ``PLAN_COUNTS.json`` — the committed baseline of executed op counts
+  under the default (optimized) configuration.  ``--check`` recomputes
+  the counts and fails if any entry executes *more* ``replace`` ops than
+  the baseline records: a plan regression.
+
+Usage::
+
+    python -m repro.bench.plan_bench --out results
+    python -m repro.bench.plan_bench --check results/PLAN_COUNTS.json
+
+The workload is Algorithm 3 (context-insensitive points-to with
+call-graph discovery): it exercises recursive rules, hoisting, and the
+delta-plan machinery without the multi-minute context-sensitive solves.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import ContextInsensitiveAnalysis
+from ..datalog.passes import PASS_NAMES
+from ..ir.facts import extract_facts
+from .corpus import corpus_entry, corpus_names
+
+__all__ = [
+    "solve_entry",
+    "bench_entry",
+    "run_plan_bench",
+    "check_plan_counts",
+    "main",
+]
+
+DEFAULT_REPEATS = 3
+
+
+def solve_entry(
+    name: str,
+    optimize: Optional[bool] = None,
+    disabled_passes: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    repeats: int = 1,
+    facts=None,
+) -> Dict[str, Any]:
+    """Solve Algorithm 3 on one corpus entry under one optimizer config.
+
+    Wall-clock is the best of ``repeats`` runs (minimum suppresses
+    scheduler noise on entries that solve in well under a second); op
+    counts are taken from the last run — they are deterministic.
+    """
+    if facts is None:
+        facts = extract_facts(corpus_entry(name).build())
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        seconds, result = _timed_run(
+            facts, optimize, disabled_passes, backend
+        )
+        best = min(best, seconds)
+    return _config_record(result, best)
+
+
+def _timed_run(facts, optimize, disabled_passes, backend):
+    """One whole solve (construction + fixpoint) with the cyclic GC
+    parked, so collection pauses don't land on one config's timing."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.monotonic()
+        result = ContextInsensitiveAnalysis(
+            facts=facts,
+            optimize=optimize,
+            disabled_passes=disabled_passes,
+            backend=backend,
+        ).run()
+        return time.monotonic() - t0, result
+    finally:
+        gc.enable()
+
+
+def _config_record(result, best: float) -> Dict[str, Any]:
+    solver = result.solver
+    executed = dict(sorted(solver.stats.plan_ops.items()))
+    return {
+        "executed": executed,
+        "executed_total": sum(executed.values()),
+        "static": dict(sorted(solver.plan_op_counts().items())),
+        "seconds": round(best, 4),
+        "tuples_vP": solver.relation("vP").count(),
+        "iterations": solver.stats.iterations,
+    }
+
+
+def bench_entry(
+    name: str, repeats: int = DEFAULT_REPEATS, backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Full config sweep for one entry: noopt, opt, and opt with each
+    pass individually disabled (the per-pass contribution).
+
+    The repeats are *interleaved* — every config runs once per round —
+    so slow drift in machine load is spread evenly across configs
+    instead of penalizing whichever ran last.
+    """
+    facts = extract_facts(corpus_entry(name).build())
+    sweep: List[tuple] = [
+        ("noopt", False, None),
+        ("opt", True, None),
+    ]
+    sweep.extend(
+        (f"opt-no-{pass_name}", True, [pass_name])
+        for pass_name in PASS_NAMES
+    )
+    best: Dict[str, float] = {label: float("inf") for label, _, _ in sweep}
+    last: Dict[str, Any] = {}
+    for _ in range(max(1, repeats)):
+        for label, optimize, disabled in sweep:
+            seconds, result = _timed_run(facts, optimize, disabled, backend)
+            best[label] = min(best[label], seconds)
+            last[label] = result
+    configs: Dict[str, Any] = {
+        label: _config_record(last[label], best[label])
+        for label, _, _ in sweep
+    }
+    opt_replace = configs["opt"]["executed"].get("replace", 0)
+    noopt_replace = configs["noopt"]["executed"].get("replace", 0)
+    reduction = 0.0
+    if noopt_replace:
+        reduction = round(100.0 * (1.0 - opt_replace / noopt_replace), 1)
+    # Per-pass contribution: how many extra replace executions appear
+    # when the pass is removed from the pipeline.
+    contributions = {
+        pass_name: configs[f"opt-no-{pass_name}"]["executed"].get(
+            "replace", 0
+        )
+        - opt_replace
+        for pass_name in PASS_NAMES
+    }
+    return {
+        "name": name,
+        "configs": configs,
+        "replace_opt": opt_replace,
+        "replace_noopt": noopt_replace,
+        "replace_reduction_pct": reduction,
+        "wall_opt": configs["opt"]["seconds"],
+        "wall_noopt": configs["noopt"]["seconds"],
+        "pass_contribution_replace": contributions,
+    }
+
+
+def run_plan_bench(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = DEFAULT_REPEATS,
+    backend: Optional[str] = None,
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    """Benchmark every entry; returns the ``BENCH_plan.json`` payload."""
+    if names is None:
+        names = corpus_names(small=True)
+    entries = []
+    for name in names:
+        record = bench_entry(name, repeats=repeats, backend=backend)
+        entries.append(record)
+        if verbose:
+            print(
+                f"  [{name}: replace {record['replace_noopt']} -> "
+                f"{record['replace_opt']} "
+                f"(-{record['replace_reduction_pct']}%), wall "
+                f"{record['wall_noopt']}s -> {record['wall_opt']}s]",
+                flush=True,
+            )
+    return {
+        "workload": "algorithm3",
+        "repeats": repeats,
+        "passes": list(PASS_NAMES),
+        "entries": entries,
+        "summary": {
+            "entries_over_30pct": sum(
+                1 for e in entries if e["replace_reduction_pct"] >= 30.0
+            ),
+            "wall_no_worse_everywhere": all(
+                e["wall_opt"] <= e["wall_noopt"] for e in entries
+            ),
+        },
+    }
+
+
+def plan_counts_payload(bench: Dict[str, Any]) -> Dict[str, Any]:
+    """The regression baseline: per-entry executed op counts (optimized
+    and unoptimized) distilled from a ``run_plan_bench`` payload."""
+    return {
+        "workload": bench["workload"],
+        "entries": {
+            e["name"]: {
+                "opt": e["configs"]["opt"]["executed"],
+                "noopt": e["configs"]["noopt"]["executed"],
+                "static_opt": e["configs"]["opt"]["static"],
+            }
+            for e in bench["entries"]
+        },
+    }
+
+
+def check_plan_counts(
+    baseline_path: str, backend: Optional[str] = None, verbose: bool = True
+) -> List[str]:
+    """Recompute executed op counts and compare against the committed
+    baseline.  Returns a list of human-readable regressions (empty means
+    the optimizer still earns its keep on every entry)."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    problems: List[str] = []
+    for name, expected in sorted(baseline["entries"].items()):
+        current = solve_entry(name, optimize=True, backend=backend)
+        for kind in ("replace", "rel_prod"):
+            got = current["executed"].get(kind, 0)
+            want = expected["opt"].get(kind, 0)
+            if got > want:
+                problems.append(
+                    f"{name}: executed {kind} count regressed "
+                    f"{want} -> {got}"
+                )
+        if verbose:
+            got_replace = current["executed"].get("replace", 0)
+            print(
+                f"  [{name}: executed replace {got_replace} "
+                f"(baseline {expected['opt'].get('replace', 0)})]",
+                flush=True,
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--entries", metavar="NAME,NAME",
+        help="corpus entries (default: the small subset)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, metavar="N",
+        help="wall-clock repeats per config, best kept (default %(default)s)",
+    )
+    parser.add_argument(
+        "--backend", metavar="NAME", help="BDD kernel backend"
+    )
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--check", metavar="BASELINE.json", nargs="?",
+        const="results/PLAN_COUNTS.json",
+        help="regression mode: recompute executed op counts and fail if "
+        "any entry's replace count exceeds the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        print(f"Plan-count regression check vs {args.check}", flush=True)
+        problems = check_plan_counts(args.check, backend=args.backend)
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        print("plan counts OK" if not problems else "PLAN REGRESSION FOUND")
+        return 1 if problems else 0
+
+    names = None
+    if args.entries:
+        names = [n.strip() for n in args.entries.split(",") if n.strip()]
+    print("Plan-optimizer benchmark (Algorithm 3):", flush=True)
+    bench = run_plan_bench(names=names, repeats=args.repeats,
+                           backend=args.backend)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    bench_path = out / "BENCH_plan.json"
+    bench_path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    counts_path = out / "PLAN_COUNTS.json"
+    counts_path.write_text(
+        json.dumps(plan_counts_payload(bench), indent=2, sort_keys=True)
+        + "\n"
+    )
+    print(f"wrote {bench_path} and {counts_path}")
+    summary = bench["summary"]
+    print(
+        f"entries with >=30% replace reduction: "
+        f"{summary['entries_over_30pct']}/{len(bench['entries'])}; "
+        f"wall-clock no worse everywhere: "
+        f"{summary['wall_no_worse_everywhere']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -151,6 +151,50 @@ def _print_degradation(result) -> None:
         print(f"degraded: {result.degradation.summary()}", file=sys.stderr)
 
 
+def _plan_opts(args):
+    """(optimize, disabled_passes) from --no-opt / --disable-pass."""
+    optimize = False if getattr(args, "no_opt", False) else None
+    disabled: List[str] = []
+    for spec in getattr(args, "disable_pass", None) or ():
+        disabled.extend(s.strip() for s in spec.split(",") if s.strip())
+    return optimize, (disabled or None)
+
+
+def _print_profile(solver, as_json: bool) -> None:
+    """Per-rule profile table (or JSON) for --profile / --profile-json."""
+    profiles = solver.rule_profile()
+    if as_json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": p.rule,
+                        "applications": p.applications,
+                        "seconds": round(p.seconds, 6),
+                        "tuples_produced": p.tuples_produced,
+                    }
+                    for p in profiles
+                ],
+                indent=2,
+            )
+        )
+        return
+    if not profiles:
+        print("rule profile: (no rules applied)")
+        return
+    width = max(len(p.rule) for p in profiles)
+    width = min(width, 60)
+    print(f"{'rule':<{width}}  {'applies':>7}  {'hits':>5}  {'seconds':>9}")
+    for p in profiles:
+        rule = p.rule if len(p.rule) <= width else p.rule[: width - 3] + "..."
+        print(
+            f"{rule:<{width}}  {p.applications:>7}  "
+            f"{p.tuples_produced:>5}  {p.seconds:>9.4f}"
+        )
+
+
 def _cmd_analyze(args) -> int:
     paths: List[str] = list(args.program)
     if args.dump_dir and len(paths) > 1:
@@ -197,6 +241,8 @@ def _cmd_analyze_isolated(args, paths: List[str]) -> int:
                 "checkpoint_dir": args.checkpoint_dir,
                 "vars": list(args.var or ()),
                 "backend": args.backend,
+                "optimize": _plan_opts(args)[0],
+                "disabled_passes": _plan_opts(args)[1],
             }
         )
     # The cooperative --timeout doubles as a hard backstop: a worker that
@@ -268,6 +314,7 @@ def _cmd_analyze_isolated(args, paths: List[str]) -> int:
 def _analyze_one(args, path: str) -> int:
     program, facts = _load(args, path)
     budget = _budget_of(args)
+    optimize, disabled = _plan_opts(args)
     if args.context_sensitive:
         result = ContextSensitiveAnalysis(
             facts=facts,
@@ -275,6 +322,8 @@ def _analyze_one(args, path: str) -> int:
             checkpoint_dir=args.checkpoint_dir,
             degrade=not args.no_degrade,
             backend=args.backend,
+            optimize=optimize,
+            disabled_passes=disabled,
         ).run()
         _print_degradation(result)
         report = result.degradation
@@ -292,13 +341,16 @@ def _analyze_one(args, path: str) -> int:
             )
     else:
         result = ContextInsensitiveAnalysis(
-            facts=facts, budget=budget, backend=args.backend
+            facts=facts, budget=budget, backend=args.backend,
+            optimize=optimize, disabled_passes=disabled,
         ).run()
         print(
             f"context-insensitive points-to: "
             f"{result.relation('vP').count()} (variable, heap) tuples, "
             f"{result.seconds:.2f}s, {result.peak_nodes} peak BDD nodes"
         )
+    if args.profile or args.profile_json:
+        _print_profile(result.solver, as_json=args.profile_json)
     for spec in args.var or ():
         method, _, var = spec.rpartition(":")
         if not method:
@@ -524,9 +576,11 @@ def _cmd_datalog(args) -> int:
         program = parse_datalog(source, domain_sizes=sizes or None)
     except DatalogError as err:
         raise DatalogError(f"{args.program}: {err}") from err
+    optimize, disabled = _plan_opts(args)
     solver = Solver(
         program, naive=args.naive, budget=_budget_of(args),
-        backend=args.backend,
+        backend=args.backend, optimize=optimize, disabled_passes=disabled,
+        trace_ops=args.explain_plan,
     )
     if args.facts:
         if not pathlib.Path(args.facts).is_dir():
@@ -539,6 +593,10 @@ def _cmd_datalog(args) -> int:
         decl = program.relations[name]
         if decl.is_output:
             print(f"{name}: {solver.relation(name).count()} tuples")
+    if args.explain_plan:
+        print(solver.explain_plans(executed_only=True))
+    if args.profile or args.profile_json:
+        _print_profile(solver, as_json=args.profile_json)
     if args.out:
         counts = save_solver_outputs(solver, args.out)
         print(f"wrote {sum(counts.values())} tuples to {args.out}/")
@@ -625,6 +683,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-stratum fixpoint iteration cap",
         )
 
+    def plan_flags(p):
+        p.add_argument(
+            "--no-opt", action="store_true",
+            help="disable the Datalog plan optimizer (run greedy plans; "
+            "also $REPRO_PLAN_OPT=off)",
+        )
+        p.add_argument(
+            "--disable-pass", action="append", metavar="NAME",
+            help="disable one optimizer pass by name (repeatable or "
+            "comma-separated; also $REPRO_PLAN_DISABLE)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print the per-rule evaluation profile after solving",
+        )
+        p.add_argument(
+            "--profile-json", action="store_true",
+            help="print the per-rule profile as JSON",
+        )
+
     def common(p, multi=False, optional=False):
         if multi:
             p.add_argument(
@@ -687,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-limit", type=int, metavar="MB",
         help="hard RLIMIT_AS cap per worker with --isolate",
     )
+    plan_flags(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_query = sub.add_parser("query", help="run a Section 5 style query")
@@ -739,7 +818,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_datalog.add_argument(
         "--naive", action="store_true", help="disable semi-naive evaluation"
     )
+    p_datalog.add_argument(
+        "--explain-plan", action="store_true",
+        help="print the optimized plans with per-op execution costs",
+    )
     budget_flags(p_datalog)
+    plan_flags(p_datalog)
     p_datalog.set_defaults(func=_cmd_datalog)
 
     p_compile = sub.add_parser(
@@ -809,6 +893,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from .bdd.api import BACKEND_ENV_VAR, resolve_backend_name
 
             os.environ[BACKEND_ENV_VAR] = resolve_backend_name(backend)
+        # Same deal for the plan optimizer: export the choice so worker
+        # subprocesses resolve identically, and reject unknown pass names
+        # before any solving starts.
+        optimize, disabled = _plan_opts(args)
+        if optimize is False or disabled:
+            from .datalog.passes import (
+                DISABLE_ENV_VAR,
+                OPT_ENV_VAR,
+                PassOptions,
+            )
+
+            PassOptions.resolve(optimize, disabled)  # validates names
+            if optimize is False:
+                os.environ[OPT_ENV_VAR] = "off"
+            if disabled:
+                os.environ[DISABLE_ENV_VAR] = ",".join(disabled)
         return args.func(args)
     except BrokenPipeError:
         # The consumer of our stdout (`head`, `grep -q`, ...) exited

@@ -35,10 +35,21 @@ from .ast import (
     Rule,
     Variable,
 )
+from .compiler import compile_rule, instance_requirements
 from .explain import Derivation, explain, format_derivation
 from .parser import parse_program
+from .passes import PASS_NAMES, PassOptions, run_pipeline
+from .plan import (
+    HoistedSlot,
+    Op,
+    PlanUnit,
+    RulePlan,
+    format_plan,
+    format_unit,
+    validate_plan,
+)
 from .relation import Attribute, Relation
-from .solver import SolveStats, Solver
+from .solver import RuleProfile, SolveStats, Solver
 from .stratify import Stratum, stratify
 
 __all__ = [
@@ -50,18 +61,31 @@ __all__ = [
     "Derivation",
     "DomainDecl",
     "DontCare",
-    "explain",
-    "format_derivation",
-    "NamedConst",
-    "NumberConst",
-    "ProgramAST",
-    "Relation",
+    "HoistedSlot",
+    "Op",
+    "PASS_NAMES",
+    "PassOptions",
+    "PlanUnit",
     "RelationDecl",
+    "Relation",
     "Rule",
+    "RulePlan",
+    "RuleProfile",
     "SolveStats",
     "Solver",
     "Stratum",
     "Variable",
+    "NamedConst",
+    "NumberConst",
+    "ProgramAST",
+    "compile_rule",
+    "explain",
+    "format_derivation",
+    "format_plan",
+    "format_unit",
+    "instance_requirements",
     "parse_program",
+    "run_pipeline",
     "stratify",
+    "validate_plan",
 ]

@@ -70,7 +70,14 @@ class RelationDecl:
         return len(self.attributes)
 
     def resolved_instances(self) -> Tuple[int, ...]:
-        """Physical instance index for each attribute, defaults filled in."""
+        """Physical instance index for each attribute, defaults filled in.
+
+        Memoized: the compiler and the optimizer passes consult this for
+        every atom they lower, and the decl is immutable.
+        """
+        cached = self.__dict__.get("_resolved_instances")
+        if cached is not None:
+            return cached
         counts: Dict[str, int] = {}
         out = []
         for attr in self.attributes:
@@ -81,7 +88,9 @@ class RelationDecl:
                 idx = counts.get(attr.domain, 0)
                 counts[attr.domain] = idx + 1
             out.append(idx)
-        return tuple(out)
+        result = tuple(out)
+        object.__setattr__(self, "_resolved_instances", result)
+        return result
 
 
 @dataclass(frozen=True)

@@ -1,28 +1,34 @@
-"""Translation of Datalog rules into BDD relational-algebra plans.
+"""Lowering of Datalog rules into relational-algebra op plans.
 
-This is the core of the bddbddb reproduction (Section 2.4.1): each rule is
-compiled — once per semi-naive variant — into a short straight-line program
-of relational operations:
+This is the front half of the bddbddb compiler (Section 2.4.1): each rule
+is lowered — once per semi-naive variant — into a straight-line
+:class:`~repro.datalog.plan.RulePlan` of typed ops:
 
-* load a body atom's BDD (full relation or its delta),
-* filter constants, equate repeated variables, project don't-cares,
-* rename attributes so shared variables meet in the same physical domain
-  ("attributes naming": the compiler simulates the binding evolution and
-  inserts the cheapest renames),
-* join with ``rel_prod``, projecting join variables that are dead afterwards
-  in the same fused operation,
-* apply built-in comparisons and negated atoms,
-* project to the head's variables and rename into the head's schema.
+* ``Load`` a body atom's BDD (full relation or its delta),
+* ``And`` constant filters and repeated-variable equalities onto it,
+  ``Exist`` away don't-cares and dead-on-arrival variables,
+* ``Replace`` attributes so shared variables meet in the same physical
+  domain ("attributes naming": the compiler simulates the binding
+  evolution and inserts the cheapest renames),
+* ``RelProd`` into the accumulator, projecting join variables that are
+  dead afterwards in the same fused operation,
+* ``Diff``/``And`` built-in comparisons and negated atoms,
+* ``Exist``/``Replace`` into the head schema and ``CopyInto`` the head.
 
-The compiler works against *physical domain references* ``(logical, index)``
-so plans can be constructed before BDD levels exist; the solver materializes
-them against its domain pool.
+The lowering here is *local and greedy*; the optimizer passes
+(:mod:`repro.datalog.passes`) improve on it by re-lowering rules with a
+globally-colored variable→physical-domain ``assignment`` (accepted via
+the hint parameter of :func:`compile_rule`) and by rewriting the emitted
+op list directly.
+
+The compiler works against *physical domain references* ``(logical,
+index)`` so plans can be constructed before BDD levels exist; the solver
+materializes them against its domain pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from .ast import (
     Atom,
@@ -36,134 +42,30 @@ from .ast import (
     Term,
     Variable,
 )
+from .plan import (
+    And,
+    Const,
+    CopyInto,
+    Diff,
+    Equal,
+    Exist,
+    Load,
+    Op,
+    PhysRef,
+    Replace,
+    RelProd,
+    RulePlan,
+    Top,
+    Universe,
+    ordered_schema,
+)
 
 __all__ = [
     "PhysRef",
-    "AtomPrep",
-    "AtomStep",
-    "UniverseStep",
-    "ComparisonStep",
-    "NegAtomStep",
-    "FinalStep",
     "RulePlan",
     "compile_rule",
     "instance_requirements",
 ]
-
-# A physical domain reference: (logical domain name, instance index).
-PhysRef = Tuple[str, int]
-
-
-@dataclass
-class AtomPrep:
-    """Schema-level preprocessing shared by positive and negated atoms."""
-
-    relation: str
-    # Constant filters: (attribute phys, resolved-at-runtime constant term).
-    const_filters: List[Tuple[PhysRef, Term]] = field(default_factory=list)
-    # Equalities for repeated variables within the atom: (keep, drop).
-    dup_equalities: List[Tuple[PhysRef, PhysRef]] = field(default_factory=list)
-    # Physical domains to project away after filtering (constants,
-    # don't-cares, duplicate copies, dead-on-arrival variables).
-    project: List[PhysRef] = field(default_factory=list)
-    # Simultaneous rename applied after projection: src phys -> dst phys.
-    rename: Dict[PhysRef, PhysRef] = field(default_factory=dict)
-
-
-@dataclass
-class AtomStep:
-    """Join one positive atom into the current intermediate relation."""
-
-    prep: AtomPrep
-    use_delta: bool
-    is_first: bool
-    # Physical domains quantified away by the joining rel_prod (dead vars).
-    join_project: List[PhysRef] = field(default_factory=list)
-
-
-@dataclass
-class UniverseStep:
-    """Bind an otherwise-unconstrained variable to its whole domain."""
-
-    phys: PhysRef
-
-
-@dataclass
-class ComparisonStep:
-    """Apply ``left OP right`` over bound variables/constants."""
-
-    op: str  # "=" or "!="
-    left_phys: PhysRef
-    right_phys: Optional[PhysRef]
-    right_const: Optional[Term]
-    project_after: List[PhysRef] = field(default_factory=list)
-
-
-@dataclass
-class NegAtomStep:
-    """Subtract a (prepared, renamed) negated atom."""
-
-    prep: AtomPrep
-    project_after: List[PhysRef] = field(default_factory=list)
-
-
-@dataclass
-class FinalStep:
-    """Project to head variables and rename into the head schema."""
-
-    project: List[PhysRef] = field(default_factory=list)
-    rename: Dict[PhysRef, PhysRef] = field(default_factory=dict)
-    head_consts: List[Tuple[PhysRef, Term]] = field(default_factory=list)
-    head_equalities: List[Tuple[PhysRef, PhysRef]] = field(default_factory=list)
-
-
-@dataclass
-class RulePlan:
-    """A compiled (rule, semi-naive variant) pair."""
-
-    rule: Rule
-    head_relation: str
-    delta_index: Optional[int]  # positive-atom index evaluated as delta
-    steps: List[Union[AtomStep, UniverseStep, ComparisonStep, NegAtomStep]] = field(
-        default_factory=list
-    )
-    final: FinalStep = field(default_factory=FinalStep)
-
-    def phys_refs(self) -> Set[PhysRef]:
-        """All physical domains this plan touches (for pool sizing)."""
-        refs: Set[PhysRef] = set()
-
-        def scan_prep(prep: AtomPrep) -> None:
-            for phys, _ in prep.const_filters:
-                refs.add(phys)
-            for a, b in prep.dup_equalities:
-                refs.update((a, b))
-            refs.update(prep.project)
-            for s, d in prep.rename.items():
-                refs.update((s, d))
-
-        for step in self.steps:
-            if isinstance(step, AtomStep):
-                scan_prep(step.prep)
-                refs.update(step.join_project)
-            elif isinstance(step, UniverseStep):
-                refs.add(step.phys)
-            elif isinstance(step, ComparisonStep):
-                refs.add(step.left_phys)
-                if step.right_phys is not None:
-                    refs.add(step.right_phys)
-                refs.update(step.project_after)
-            elif isinstance(step, NegAtomStep):
-                scan_prep(step.prep)
-                refs.update(step.project_after)
-        refs.update(self.final.project)
-        for s, d in self.final.rename.items():
-            refs.update((s, d))
-        for phys, _ in self.final.head_consts:
-            refs.add(phys)
-        for a, b in self.final.head_equalities:
-            refs.update((a, b))
-        return refs
 
 
 class _Allocator:
@@ -252,20 +154,95 @@ def _last_use_positions(
     return last
 
 
+def _choose_targets(
+    rule: Rule,
+    atom: Atom,
+    atom_vars: Dict[str, PhysRef],
+    binding: Dict[str, PhysRef],
+    in_use: Set[PhysRef],
+    allocator: _Allocator,
+    atom_physes: Set[PhysRef],
+    assignment: Optional[Dict[str, PhysRef]],
+) -> Tuple[Dict[PhysRef, PhysRef], Dict[str, PhysRef]]:
+    """Pick the rename target for each of the atom's variables.
+
+    Bound variables move onto the current binding's physical domain; new
+    variables prefer the optimizer's ``assignment`` hint, then their own
+    attribute, then a diverted fresh instance.  If an assignment hint
+    produces a rename-target collision with an attribute that stays in
+    place, the whole atom falls back to the greedy choice (the optimizer
+    then simply gets no improvement here).
+    """
+    attempts = (assignment, None) if assignment else (None,)
+    for pref_map in attempts:
+        rename: Dict[PhysRef, PhysRef] = {}
+        new_vars: Dict[str, PhysRef] = {}
+        targets_taken: Set[PhysRef] = set(in_use)
+        for var, phys in atom_vars.items():
+            if var in binding:
+                target = binding[var]
+            else:
+                logical = phys[0]
+                pref = pref_map.get(var) if pref_map else None
+                if (
+                    pref is not None
+                    and pref[0] == logical
+                    and pref not in targets_taken
+                ):
+                    target = pref
+                    allocator.note(pref)
+                elif phys not in targets_taken:
+                    target = phys
+                else:
+                    # Divert to a fresh instance; it must not collide with
+                    # the current relation, other targets, or any attribute
+                    # of this atom that stays in place.
+                    target = allocator.fresh(logical, targets_taken | atom_physes)
+                new_vars[var] = target
+            if target != phys:
+                rename[phys] = target
+            targets_taken.add(target)
+        # A rename target must never collide with an attribute of the atom
+        # that stays in place (collisions inside the simultaneous rename
+        # itself are fine because replace applies the whole map at once).
+        stay = {p for v, p in atom_vars.items() if p not in rename}
+        collision = next((d for d in rename.values() if d in stay), None)
+        if collision is None:
+            return rename, new_vars
+    raise DatalogError(
+        f"rule {rule}: rename collision on {collision} in atom "
+        f"{atom.relation} — add explicit physical instances"
+    )
+
+
 def compile_rule(
     program: ProgramAST,
     rule: Rule,
     delta_index: Optional[int],
     allocator: Optional[_Allocator] = None,
+    assignment: Optional[Dict[str, PhysRef]] = None,
 ) -> RulePlan:
-    """Compile one rule variant into a :class:`RulePlan`.
+    """Lower one rule variant into a :class:`RulePlan` op program.
 
     ``delta_index`` selects which positive atom is read from the delta
     relation (semi-naive evaluation); ``None`` reads all atoms in full.
+    ``assignment`` optionally maps variable names to preferred physical
+    domains (the optimizer's conflict-graph coloring); the lowering uses
+    a hint only where it is collision-free, so any assignment yields a
+    correct plan.
     """
     allocator = allocator or _Allocator()
-    head_decl = program.relations[rule.head.relation]
-    plan = RulePlan(rule=rule, head_relation=rule.head.relation, delta_index=delta_index)
+    plan = RulePlan(
+        rule=rule, head_relation=rule.head.relation, delta_index=delta_index
+    )
+    ops = plan.ops
+
+    def emit(cls, schema, *args, spine=False, origin=None) -> Op:
+        op = cls(len(ops), ordered_schema(schema), *args)
+        op.spine = spine
+        op.origin = origin
+        ops.append(op)
+        return op
 
     ordered = _order_positive_atoms(rule, delta_index)
     # Tail: comparisons first (cheap filters), then negations.
@@ -281,66 +258,82 @@ def compile_rule(
         phys = binding.pop(var)
         in_use.discard(phys)
 
+    acc: Optional[Op] = None
+    acc_schema: Set[PhysRef] = set()
+
+    def prep_chain(
+        atom: Atom,
+        const_filters,
+        dup_eqs,
+        project,
+        rename,
+        use_delta: bool,
+        origin,
+    ) -> Tuple[Op, Set[PhysRef]]:
+        """Emit the load/filter/project/rename chain for one body atom."""
+        cur: Set[PhysRef] = {p for _, _, p in _atom_schema(program, atom)}
+        node = emit(Load, cur, atom.relation, use_delta, origin=origin)
+        for phys, term in const_filters:
+            probe = emit(Const, (phys,), phys, term, origin=origin)
+            node = emit(And, cur, node.out, probe.out, False, origin=origin)
+        for keep, dup in dup_eqs:
+            probe = emit(Equal, (keep, dup), keep, dup, origin=origin)
+            node = emit(And, cur, node.out, probe.out, False, origin=origin)
+        if project:
+            cur -= set(project)
+            node = emit(
+                Exist, cur, node.out, tuple(sorted(project)), origin=origin
+            )
+        if rename:
+            cur = {rename.get(p, p) for p in cur}
+            node = emit(
+                Replace,
+                cur,
+                node.out,
+                tuple(sorted(rename.items())),
+                origin=origin,
+            )
+        return node, cur
+
     # ------------------------------------------------------------------
     # Positive atoms
     # ------------------------------------------------------------------
     for pos, (atom_idx, atom) in enumerate(ordered):
         schema = _atom_schema(program, atom)
-        prep = AtomPrep(relation=atom.relation)
-        for phys_ref in (p for _, _, p in schema):
+        for _, _, phys_ref in schema:
             allocator.note(phys_ref)
+        use_delta = delta_index is not None and atom_idx == delta_index
+        origin = (atom.relation, use_delta, pos)
         # Pass 1: constants, don't-cares, duplicates.
+        const_filters: List[Tuple[PhysRef, Term]] = []
+        dup_eqs: List[Tuple[PhysRef, PhysRef]] = []
+        project: List[PhysRef] = []
         atom_vars: Dict[str, PhysRef] = {}
         for term, logical, phys in schema:
             if isinstance(term, (NumberConst, NamedConst)):
-                prep.const_filters.append((phys, term))
-                prep.project.append(phys)
+                const_filters.append((phys, term))
+                project.append(phys)
             elif isinstance(term, DontCare):
-                prep.project.append(phys)
+                project.append(phys)
             elif isinstance(term, Variable):
                 if term.name in atom_vars:
-                    prep.dup_equalities.append((atom_vars[term.name], phys))
-                    prep.project.append(phys)
+                    dup_eqs.append((atom_vars[term.name], phys))
+                    project.append(phys)
                 else:
                     atom_vars[term.name] = phys
         # Dead-on-arrival: variables that appear only inside this atom.
         for var in list(atom_vars):
             if last_use[var] <= pos and var not in binding:
-                prep.project.append(atom_vars.pop(var))
-        # Pass 2: renames.  Shared variables move onto the current binding's
-        # physical domain; others keep theirs unless it collides.
-        rename: Dict[PhysRef, PhysRef] = {}
-        targets_taken: Set[PhysRef] = set(in_use)
-        atom_physes: Set[PhysRef] = {p for _, _, p in schema}
-        new_vars: Dict[str, PhysRef] = {}
-        for var, phys in atom_vars.items():
-            if var in binding:
-                target = binding[var]
-            else:
-                logical = phys[0]
-                if phys not in targets_taken:
-                    target = phys
-                else:
-                    # Divert to a fresh instance; it must not collide with
-                    # the current relation, other targets, or any attribute
-                    # of this atom that stays in place.
-                    target = allocator.fresh(logical, targets_taken | atom_physes)
-                new_vars[var] = target
-            if target != phys:
-                rename[phys] = target
-            targets_taken.add(target)
-        # Safety net: a rename target must never collide with an attribute
-        # of the atom that stays in place (the allocator avoids this by
-        # construction; collisions inside the simultaneous rename itself
-        # are fine because replace applies the whole map at once).
-        stay = {p for v, p in atom_vars.items() if p not in rename}
-        for src, dst in rename.items():
-            if dst in stay:
-                raise DatalogError(
-                    f"rule {rule}: rename collision on {dst} in atom "
-                    f"{atom.relation} — add explicit physical instances"
-                )
-        prep.rename = rename
+                project.append(atom_vars.pop(var))
+        # Pass 2: renames.
+        atom_physes = {p for _, _, p in schema}
+        rename, new_vars = _choose_targets(
+            rule, atom, atom_vars, binding, in_use, allocator, atom_physes,
+            assignment,
+        )
+        node, cur = prep_chain(
+            atom, const_filters, dup_eqs, project, rename, use_delta, origin
+        )
         # Join, projecting variables that die at this step.
         join_project: List[PhysRef] = []
         for var in list(binding):
@@ -350,14 +343,20 @@ def compile_rule(
         for var, target in new_vars.items():
             binding[var] = target
             in_use.add(target)
-        plan.steps.append(
-            AtomStep(
-                prep=prep,
-                use_delta=(delta_index is not None and atom_idx == delta_index),
-                is_first=(pos == 0),
-                join_project=join_project,
+            plan.var_targets[var] = target
+        if acc is None:
+            node.spine = True
+            acc, acc_schema = node, cur
+        else:
+            acc_schema = (acc_schema | cur) - set(join_project)
+            acc = emit(
+                RelProd,
+                acc_schema,
+                acc.out,
+                node.out,
+                tuple(sorted(join_project)),
+                spine=True,
             )
-        )
 
     # ------------------------------------------------------------------
     # Unsafe variables: bind to the domain universe before tail items.
@@ -372,10 +371,26 @@ def compile_rule(
             logical = var_domains.get(var)
             if logical is None:
                 raise DatalogError(f"rule {rule}: cannot infer domain of {var}")
-            phys = allocator.fresh(logical, in_use)
+            phys: Optional[PhysRef] = None
+            if assignment:
+                pref = assignment.get(var)
+                if pref is not None and pref[0] == logical and pref not in in_use:
+                    phys = pref
+                    allocator.note(pref)
+            if phys is None:
+                phys = allocator.fresh(logical, in_use)
             binding[var] = phys
             in_use.add(phys)
-            plan.steps.append(UniverseStep(phys=phys))
+            plan.var_targets[var] = phys
+            universe = emit(Universe, (phys,), phys)
+            if acc is None:
+                universe.spine = True
+                acc, acc_schema = universe, {phys}
+            else:
+                acc_schema = acc_schema | {phys}
+                acc = emit(
+                    And, acc_schema, acc.out, universe.out, True, spine=True
+                )
 
     # ------------------------------------------------------------------
     # Comparisons, then negated atoms.
@@ -390,33 +405,44 @@ def compile_rule(
                 # op is symmetric for = and !=
             if not isinstance(left, Variable):
                 raise DatalogError(f"rule {rule}: comparison between two constants")
-            step = ComparisonStep(
-                op=item.op,
-                left_phys=binding[left.name],
-                right_phys=binding[right.name] if isinstance(right, Variable) else None,
-                right_const=None if isinstance(right, Variable) else right,
-            )
-            for var in item.variables():
-                if last_use[var] <= item_pos and var in binding:
-                    step.project_after.append(binding[var])
-                    release(var)
-            plan.steps.append(step)
+            left_phys = binding[left.name]
+            if isinstance(right, Variable):
+                right_phys = binding[right.name]
+                probe = emit(
+                    Equal, (left_phys, right_phys), left_phys, right_phys
+                )
+            else:
+                probe = emit(Const, (left_phys,), left_phys, right)
+            if item.op == "=":
+                acc = emit(
+                    And,
+                    acc_schema | set(probe.schema),
+                    acc.out,
+                    probe.out,
+                    False,
+                    spine=True,
+                )
+            else:
+                acc = emit(Diff, acc_schema, acc.out, probe.out, spine=True)
         else:  # negated atom
             schema = _atom_schema(program, item)
-            prep = AtomPrep(relation=item.relation)
-            for phys_ref in (p for _, _, p in schema):
+            for _, _, phys_ref in schema:
                 allocator.note(phys_ref)
-            atom_vars: Dict[str, PhysRef] = {}
+            origin = (item.relation, False, item_pos)
+            const_filters = []
+            dup_eqs = []
+            project = []
+            atom_vars = {}
             for term, logical, phys in schema:
                 if isinstance(term, (NumberConst, NamedConst)):
-                    prep.const_filters.append((phys, term))
-                    prep.project.append(phys)
+                    const_filters.append((phys, term))
+                    project.append(phys)
                 elif isinstance(term, DontCare):
-                    prep.project.append(phys)
+                    project.append(phys)
                 else:
                     if term.name in atom_vars:
-                        prep.dup_equalities.append((atom_vars[term.name], phys))
-                        prep.project.append(phys)
+                        dup_eqs.append((atom_vars[term.name], phys))
+                        project.append(phys)
                     else:
                         atom_vars[term.name] = phys
             rename = {}
@@ -427,39 +453,82 @@ def compile_rule(
                     )
                 if binding[var] != phys:
                     rename[phys] = binding[var]
-            prep.rename = rename
-            step = NegAtomStep(prep=prep)
-            for var in item.variables():
-                if last_use[var] <= item_pos and var in binding:
-                    step.project_after.append(binding[var])
-                    release(var)
-            plan.steps.append(step)
+            node, _cur = prep_chain(
+                item, const_filters, dup_eqs, project, rename, False, origin
+            )
+            acc = emit(Diff, acc_schema, acc.out, node.out, spine=True)
+        # Project variables that die at this tail item.
+        project_after: List[PhysRef] = []
+        for var in item.variables():
+            if last_use[var] <= item_pos and var in binding:
+                project_after.append(binding[var])
+                release(var)
+        if project_after:
+            acc_schema -= set(project_after)
+            acc = emit(
+                Exist,
+                acc_schema,
+                acc.out,
+                tuple(sorted(project_after)),
+                spine=True,
+            )
 
     # ------------------------------------------------------------------
     # Final projection and rename into the head schema.
     # ------------------------------------------------------------------
     head_schema = _atom_schema(program, rule.head)
-    final = FinalStep()
+    head_consts: List[Tuple[PhysRef, Term]] = []
+    head_equalities: List[Tuple[PhysRef, PhysRef]] = []
     head_vars_first: Dict[str, PhysRef] = {}
     for term, logical, phys in head_schema:
         allocator.note(phys)
         if isinstance(term, (NumberConst, NamedConst)):
-            final.head_consts.append((phys, term))
+            head_consts.append((phys, term))
         elif isinstance(term, Variable):
             if term.name in head_vars_first:
-                final.head_equalities.append((head_vars_first[term.name], phys))
+                head_equalities.append((head_vars_first[term.name], phys))
             else:
                 head_vars_first[term.name] = phys
-    head_var_names = set(head_vars_first)
+    if acc is None:  # body-less rule (facts in rule form)
+        acc = emit(Top, (), spine=True)
+        acc_schema = set()
+    final_project: List[PhysRef] = []
     for var in list(binding):
-        if var not in head_var_names:
-            final.project.append(binding[var])
+        if var not in head_vars_first:
+            final_project.append(binding[var])
             release(var)
+    if final_project:
+        acc_schema -= set(final_project)
+        acc = emit(
+            Exist,
+            acc_schema,
+            acc.out,
+            tuple(sorted(final_project)),
+            spine=True,
+        )
+    final_rename: Dict[PhysRef, PhysRef] = {}
     for var, target in head_vars_first.items():
         src = binding[var]
         if src != target:
-            final.rename[src] = target
-    plan.final = final
+            final_rename[src] = target
+    if final_rename:
+        acc_schema = {final_rename.get(p, p) for p in acc_schema}
+        acc = emit(
+            Replace,
+            acc_schema,
+            acc.out,
+            tuple(sorted(final_rename.items())),
+            spine=True,
+        )
+    for phys, term in head_consts:
+        probe = emit(Const, (phys,), phys, term)
+        acc_schema = acc_schema | {phys}
+        acc = emit(And, acc_schema, acc.out, probe.out, True, spine=True)
+    for keep, dup in head_equalities:
+        probe = emit(Equal, (keep, dup), keep, dup)
+        acc_schema = acc_schema | {dup}
+        acc = emit(And, acc_schema, acc.out, probe.out, True, spine=True)
+    emit(CopyInto, acc_schema, acc.out, rule.head.relation)
     return plan
 
 
@@ -468,7 +537,10 @@ def instance_requirements(program: ProgramAST) -> Dict[str, int]:
 
     Compiles every rule (all semi-naive variants) against a shared
     allocator and returns its high-water marks, also accounting for the
-    declared relation schemas.  The solver sizes its domain pool from this.
+    declared relation schemas.  The solver sizes its domain pool from
+    this — always from the *greedy* lowering, so the optimizer can never
+    change the pool (and therefore never the BDD variable order or any
+    serialized fingerprint).
     """
     allocator = _Allocator()
     for decl in program.relations.values():

@@ -145,8 +145,30 @@ def explain(
     Raises :class:`DatalogError` if the tuple is not actually in the
     relation.  Input relations (and depth-exhausted nodes) become leaf
     facts.
+
+    Sub-derivations are memoized per call keyed on
+    ``(relation, values, remaining depth)``, so diamond-shaped rule sets
+    (two rules deriving the same intermediate tuple) re-derive each
+    shared witness once instead of once per path — without the depth in
+    the key, a witness first derived near the depth limit could be
+    reused where more depth remained and silently truncate the tree.
+    The returned tree shares ``Derivation`` nodes for shared witnesses.
     """
+    return _explain(solver, relation_name, values, max_depth, {})
+
+
+def _explain(
+    solver: Solver,
+    relation_name: str,
+    values: Sequence[int],
+    max_depth: int,
+    memo: Dict[Tuple[str, Tuple[int, ...], int], Derivation],
+) -> Derivation:
     values = tuple(values)
+    memo_key = (relation_name, values, max_depth)
+    hit = memo.get(memo_key)
+    if hit is not None:
+        return hit
     rel = solver.relation(relation_name)
     if not rel.contains(values):
         raise DatalogError(
@@ -154,7 +176,9 @@ def explain(
         )
     decl = solver.program.relations[relation_name]
     if decl.is_input or max_depth <= 0:
-        return Derivation(relation=relation_name, values=values)
+        leaf = Derivation(relation=relation_name, values=values)
+        memo[memo_key] = leaf
+        return leaf
 
     head_key = (relation_name, values)
     for rule in solver.program.rules:
@@ -203,13 +227,18 @@ def explain(
         if chosen is None:
             continue
         node = Derivation(relation=relation_name, values=values, rule=rule)
+        # Memoize before recursing: a diamond's shared witness reuses
+        # this node instead of re-running the backtracking search.
+        memo[memo_key] = node
         for child_rel, child_values in chosen:
             node.children.append(
-                explain(solver, child_rel, child_values, max_depth - 1)
+                _explain(solver, child_rel, child_values, max_depth - 1, memo)
             )
         return node
     # No rule reproduced it at this depth: report as a leaf.
-    return Derivation(relation=relation_name, values=values)
+    leaf = Derivation(relation=relation_name, values=values)
+    memo[memo_key] = leaf
+    return leaf
 
 
 def format_derivation(

@@ -19,7 +19,24 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..bdd import BDD, BDDError, Domain, FALSE, TRUE
 from ..runtime.errors import InvalidInputError
 
-__all__ = ["Attribute", "Relation"]
+__all__ = ["Attribute", "Relation", "bdd_size"]
+
+
+def bdd_size(manager: BDD, node: int) -> int:
+    """Number of non-terminal nodes reachable from ``node`` (the cost
+    metric the plan executor records in its per-op traces)."""
+    seen = {FALSE, TRUE}
+    stack = [node]
+    count = 0
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        count += 1
+        stack.append(manager.low(n))
+        stack.append(manager.high(n))
+    return count
 
 
 @dataclass(frozen=True)

@@ -7,17 +7,24 @@ runs *incrementalized* (semi-naive) fixpoint iteration: each rule is
 compiled into one plan per choice of "delta atom", and only tuples that are
 new since the previous iteration flow through the rule bodies.  Rules whose
 body does not mention the stratum's predicates are applied exactly once
-("rule application order" optimization), and body atoms whose relations are
-loop-invariant within the stratum have their prepared BDDs cached
-("loop-invariant relations" optimization).  A ``naive=True`` switch
-disables incrementalization for the ablation benchmark.
+("rule application order" optimization).  A ``naive=True`` switch disables
+incrementalization for the ablation benchmark.
+
+Since the plan-IR refactor the solver is an *executor*: rules are lowered
+to the register op programs of :mod:`repro.datalog.plan`, the optimizer
+passes of :mod:`repro.datalog.passes` rewrite them (attribute assignment,
+rename coalescing, loop-invariant hoisting into stratum preamble slots,
+profile-guided rule reordering), and :meth:`Solver._apply_plan` interprets
+the result op by op, tallying executed operations per kind into
+``SolveStats.plan_ops`` and — under ``trace_ops=True`` — recording per-op
+timing and result sizes for ``repro datalog --explain-plan``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..bdd import (
     BDDError,
@@ -34,19 +41,10 @@ from ..runtime import faults
 from ..runtime.budget import ResourceBudget, Watchdog
 from ..runtime.errors import IterationLimitExceeded, ReproError
 from .ast import DatalogError, NamedConst, NumberConst, ProgramAST, Term
-from .compiler import (
-    AtomPrep,
-    AtomStep,
-    ComparisonStep,
-    FinalStep,
-    NegAtomStep,
-    PhysRef,
-    RulePlan,
-    UniverseStep,
-    _Allocator,
-    compile_rule,
-)
-from .relation import Attribute, Relation
+from .compiler import PhysRef, _Allocator, compile_rule
+from .passes import PassOptions, run_pipeline
+from .plan import Op, PlanUnit, RulePlan, format_unit
+from .relation import Attribute, Relation, bdd_size
 from .stratify import Stratum, stratify
 
 __all__ = ["RuleProfile", "Solver", "SolveStats"]
@@ -82,6 +80,11 @@ class SolveStats:
     # Which BddKernel backend produced these numbers (provenance for the
     # benchmark tables and the differential harness).
     backend: str = ""
+    # Executed plan operations by op kind ("replace", "rel_prod", ...):
+    # the observable the plan optimizer exists to shrink.  Ops inside
+    # hoisted preamble slots count only when the slot actually
+    # re-evaluates, so a hoisting win shows up here directly.
+    plan_ops: Dict[str, int] = field(default_factory=dict)
 
     @property
     def peak_bytes(self) -> int:
@@ -102,6 +105,9 @@ class Solver:
         cache_limit: int = 2_000_000,
         budget: Optional[ResourceBudget] = None,
         backend: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        disabled_passes: Optional[Sequence[str]] = None,
+        trace_ops: bool = False,
     ) -> None:
         self.program = program
         self.naive = naive
@@ -112,6 +118,8 @@ class Solver:
         self.backend = resolve_backend_name(backend)
         self.gc_threshold = gc_threshold
         self.cache_limit = cache_limit
+        self.trace_ops = trace_ops
+        self.pass_options = PassOptions.resolve(optimize, disabled_passes)
         self.name_maps: Dict[str, List[str]] = {
             k: list(v) for k, v in (name_maps or {}).items()
         }
@@ -121,6 +129,8 @@ class Solver:
         }
         # Compile every rule variant once; the allocator's high-water marks
         # tell us how many physical instances each logical domain needs.
+        # The optimizer never changes this pool (that would change BDD
+        # levels): it may only re-place variables within it.
         allocator = _Allocator()
         for decl in program.relations.values():
             for attr, inst in zip(decl.attributes, decl.resolved_instances()):
@@ -135,6 +145,12 @@ class Solver:
                     program, rule, variant, allocator
                 )
         self._instances = dict(allocator.high_water)
+        # Optimize the lowered plans before any BDD state exists.
+        self._strata = stratify(program)
+        self.plan_unit = PlanUnit(
+            program=program, plans=self._plans, instances=self._instances
+        )
+        run_pipeline(self.plan_unit, self._strata, self.pass_options)
         # Build the physical domain pool under the requested variable order.
         domain_bits: Dict[str, int] = {}
         for logical, count in self._instances.items():
@@ -168,7 +184,8 @@ class Solver:
                     Attribute(attr.name, attr.domain, self._pool[(attr.domain, inst)])
                 )
             self.relations[decl.name] = Relation(self.manager, decl.name, attrs)
-        self._prep_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # Hoisted-slot value cache: slot id -> (relation version, node).
+        self._hoist_cache: Dict[int, Tuple[int, int]] = {}
         self.stats = SolveStats()
         self._profiles: Dict[int, RuleProfile] = {
             i: RuleProfile(rule=str(rule))
@@ -300,7 +317,7 @@ class Solver:
         and the stratum that was executing.
         """
         start = time.monotonic()
-        strata = stratify(self.program)
+        strata = self._strata
         self.stats.strata = len(strata)
         rule_index = {id(rule): i for i, rule in enumerate(self.program.rules)}
         self.last_completed_stratum = start_stratum - 1
@@ -325,7 +342,7 @@ class Solver:
                     # Rules with no recursive dependency run exactly once.
                     for rule in once_rules:
                         plan = self._plans[(rule_index[id(rule)], None)]
-                        self._apply_plan(plan, None, stratum)
+                        self._apply_plan(plan, None)
                     if stratum.recursive_rules:
                         if self.naive:
                             self._solve_stratum_naive(stratum, rule_index)
@@ -377,6 +394,30 @@ class Solver:
             stratum=sorted(stratum.predicates),
         )
 
+    def _recursive_rule_order(
+        self, stratum: Stratum, rule_index: Dict[int, int], iteration: int
+    ) -> List:
+        """Iteration's rule application order.  With the ``reorder-rules``
+        pass on, sort most-productive-first from the second iteration
+        (contributions are OR-accumulated per iteration, so order never
+        changes the fixpoint — only operation-cache warmth).  The sort key
+        is integer-only so the order is deterministic across machines."""
+        rules = list(stratum.recursive_rules)
+        if not self.plan_unit.reorder_rules or iteration == 0:
+            return rules
+
+        def key(pair):
+            pos, rule = pair
+            prof = self._profiles[rule_index[id(rule)]]
+            if prof.applications == 0:
+                return (0, pos)
+            # Productivity in milli-hits per application, negated so the
+            # most productive rule runs first; original position breaks
+            # ties stably.
+            return (-(prof.tuples_produced * 1000) // prof.applications, pos)
+
+        return [rule for _, rule in sorted(enumerate(rules), key=key)]
+
     def _solve_stratum_seminaive(
         self, stratum: Stratum, rule_index: Dict[int, int]
     ) -> None:
@@ -392,7 +433,7 @@ class Solver:
             if self._watchdog is not None:
                 self._watchdog.check()
             contributions: Dict[str, int] = {p: FALSE for p in stratum.predicates}
-            for rule in stratum.recursive_rules:
+            for rule in self._recursive_rule_order(stratum, rule_index, iteration):
                 ridx = rule_index[id(rule)]
                 for atom_pos, atom in enumerate(rule.positive_atoms):
                     if atom.relation not in stratum.predicates:
@@ -400,7 +441,7 @@ class Solver:
                     if deltas.get(atom.relation, FALSE) == FALSE:
                         continue  # nothing new flows through this variant
                     plan = self._plans[(ridx, atom_pos)]
-                    result = self._apply_plan(plan, deltas, stratum, defer=True)
+                    result = self._apply_plan(plan, deltas, defer=True)
                     head = plan.head_relation
                     contributions[head] = m.or_(contributions[head], result)
             progressed = False
@@ -435,7 +476,7 @@ class Solver:
             progressed = False
             for rule in stratum.recursive_rules:
                 plan = self._plans[(rule_index[id(rule)], None)]
-                delta = self._apply_plan(plan, None, stratum)
+                delta = self._apply_plan(plan, None)
                 if delta != FALSE:
                     progressed = True
             if not progressed:
@@ -443,22 +484,80 @@ class Solver:
         raise self._iteration_limit_error(stratum, limit)
 
     # ------------------------------------------------------------------
-    # Plan execution
+    # Plan execution (the IR interpreter)
     # ------------------------------------------------------------------
+
+    def _eval_op(
+        self, op: Op, regs: List[int], deltas: Optional[Dict[str, int]]
+    ) -> int:
+        """Evaluate one non-terminator op against the register file."""
+        m = self.manager
+        kind = op.kind
+        if kind == "load":
+            if op.use_delta:
+                if deltas is None:
+                    raise DatalogError(
+                        f"delta load of {op.relation} executed without deltas"
+                    )
+                return deltas.get(op.relation, FALSE)
+            return self.relations[op.relation].node
+        if kind == "load_hoisted":
+            return self._hoisted_node(op.slot)
+        if kind == "top":
+            return TRUE
+        if kind == "const":
+            value = self.resolve_const(op.phys[0], op.term)
+            return self._pool[op.phys].eq_const(value)
+        if kind == "equal":
+            return equality_relation(self._pool[op.a], self._pool[op.b])
+        if kind == "universe":
+            return self._pool[op.phys].full_bdd()
+        if kind == "and":
+            return m.and_(regs[op.lhs], regs[op.rhs])
+        if kind == "diff":
+            return m.diff(regs[op.lhs], regs[op.rhs])
+        if kind == "exist":
+            return m.exist(regs[op.src], m.varset(self._levels(op.refs)))
+        if kind == "replace":
+            return m.replace(regs[op.src], self._rename_id(dict(op.mapping)))
+        if kind == "rel_prod":
+            return m.rel_prod(
+                regs[op.lhs], regs[op.rhs], m.varset(self._levels(op.refs))
+            )
+        raise DatalogError(f"executor: unknown op kind {kind!r}")
+
+    def _hoisted_node(self, slot_id: int) -> int:
+        """Evaluate a stratum-preamble slot, cached on relation version.
+        The relation is loop-invariant within its stratum, so the cache
+        hits on every iteration after the first."""
+        slot = self.plan_unit.hoisted[slot_id]
+        rel = self.relations[slot.relation]
+        hit = self._hoist_cache.get(slot_id)
+        if hit is not None and hit[0] == rel.version:
+            return hit[1]
+        regs = [FALSE] * len(slot.ops)
+        tallies = self.stats.plan_ops
+        for op in slot.ops:
+            regs[op.out] = self._eval_op(op, regs, None)
+            tallies[op.kind] = tallies.get(op.kind, 0) + 1
+        node = regs[slot.ops[-1].out]
+        self._hoist_cache[slot_id] = (rel.version, node)
+        return node
 
     def _apply_plan(
         self,
         plan: RulePlan,
         deltas: Optional[Dict[str, int]],
-        stratum: Stratum,
         defer: bool = False,
     ) -> int:
-        """Execute one compiled rule variant.
+        """Execute one compiled rule variant's op program.
 
-        When ``defer`` is set, the resulting head tuples are returned
-        without being merged into the head relation (the semi-naive loop
-        batches contributions per iteration); otherwise the head relation is
-        updated and the delta returned.
+        A ``FALSE`` value on the accumulator spine short-circuits the rest
+        of the plan (the body cannot produce tuples).  When ``defer`` is
+        set, the resulting head tuples are returned without being merged
+        into the head relation (the semi-naive loop batches contributions
+        per iteration); otherwise the head relation is updated and the
+        delta returned.
         """
         self.stats.rule_applications += 1
         if self._watchdog is not None:
@@ -466,60 +565,34 @@ class Solver:
         profile = self._profiles[self._rule_of_plan[id(plan)]]
         profile.applications += 1
         apply_start = time.monotonic()
-        m = self.manager
-        current = TRUE
-        first = True
-        for step in plan.steps:
-            if isinstance(step, AtomStep):
-                node = self._prep_node(plan, step, deltas, stratum)
-                if first:
-                    current = node
-                    first = False
-                else:
-                    varset = m.varset(self._levels(step.join_project))
-                    current = m.rel_prod(current, node, varset)
-            elif isinstance(step, UniverseStep):
-                dom = self._pool[step.phys]
-                current = m.and_(current, dom.full_bdd())
-                first = False
-            elif isinstance(step, ComparisonStep):
-                left = self._pool[step.left_phys]
-                if step.right_phys is not None:
-                    probe = equality_relation(left, self._pool[step.right_phys])
-                else:
-                    value = self.resolve_const(step.left_phys[0], step.right_const)
-                    probe = left.eq_const(value)
-                if step.op == "=":
-                    current = m.and_(current, probe)
-                else:
-                    current = m.diff(current, probe)
-                if step.project_after:
-                    current = m.exist(
-                        current, m.varset(self._levels(step.project_after))
-                    )
-            elif isinstance(step, NegAtomStep):
-                node = self._prep_only(step.prep)
-                current = m.diff(current, node)
-                if step.project_after:
-                    current = m.exist(
-                        current, m.varset(self._levels(step.project_after))
-                    )
-            if current == FALSE:
+        ops = plan.ops
+        regs = [FALSE] * len(ops)
+        tallies = self.stats.plan_ops
+        traces = None
+        if self.trace_ops:
+            if plan.traces is None or len(plan.traces) != len(ops):
+                plan.traces = [[0, 0.0, 0] for _ in ops]
+            traces = plan.traces
+        current = FALSE
+        for i, op in enumerate(ops):
+            if op.kind == "copy_into":
+                current = regs[op.src]
+                tallies["copy_into"] = tallies.get("copy_into", 0) + 1
+                if traces is not None:
+                    traces[i][0] += 1
                 break
-        # Final projection and rename into the head schema.
-        final = plan.final
-        if current != FALSE:
-            if final.project:
-                current = m.exist(current, m.varset(self._levels(final.project)))
-            if final.rename:
-                current = m.replace(current, self._rename_id(final.rename))
-            for phys, term in final.head_consts:
-                value = self.resolve_const(phys[0], term)
-                current = m.and_(current, self._pool[phys].eq_const(value))
-            for keep, dup in final.head_equalities:
-                current = m.and_(
-                    current, equality_relation(self._pool[keep], self._pool[dup])
-                )
+            t0 = time.monotonic() if traces is not None else 0.0
+            node = self._eval_op(op, regs, deltas)
+            regs[op.out] = node
+            tallies[op.kind] = tallies.get(op.kind, 0) + 1
+            if traces is not None:
+                tr = traces[i]
+                tr[0] += 1
+                tr[1] += time.monotonic() - t0
+                tr[2] = max(tr[2], bdd_size(self.manager, node))
+            if op.spine and node == FALSE:
+                current = FALSE
+                break
         profile.seconds += time.monotonic() - apply_start
         if defer:
             if current != FALSE:
@@ -529,49 +602,6 @@ class Solver:
         if delta != FALSE:
             profile.tuples_produced += 1
         return delta
-
-    def _prep_node(
-        self,
-        plan: RulePlan,
-        step: AtomStep,
-        deltas: Optional[Dict[str, int]],
-        stratum: Stratum,
-    ) -> int:
-        prep = step.prep
-        rel = self.relations[prep.relation]
-        if step.use_delta:
-            if deltas is None:
-                raise DatalogError("delta variant executed without deltas")
-            base = deltas.get(prep.relation, FALSE)
-            return self._prep_transform(prep, base)
-        # Loop-invariant caching: relations outside the current stratum
-        # cannot change while it iterates.
-        cacheable = prep.relation not in stratum.predicates
-        key = (id(plan), id(step))
-        if cacheable:
-            hit = self._prep_cache.get(key)
-            if hit is not None and hit[0] == rel.version:
-                return hit[1]
-        node = self._prep_transform(prep, rel.node)
-        if cacheable:
-            self._prep_cache[key] = (rel.version, node)
-        return node
-
-    def _prep_only(self, prep: AtomPrep) -> int:
-        return self._prep_transform(prep, self.relations[prep.relation].node)
-
-    def _prep_transform(self, prep: AtomPrep, node: int) -> int:
-        m = self.manager
-        for phys, term in prep.const_filters:
-            value = self.resolve_const(phys[0], term)
-            node = m.and_(node, self._pool[phys].eq_const(value))
-        for keep, dup in prep.dup_equalities:
-            node = m.and_(node, equality_relation(self._pool[keep], self._pool[dup]))
-        if prep.project:
-            node = m.exist(node, m.varset(self._levels(prep.project)))
-        if prep.rename:
-            node = m.replace(node, self._rename_id(prep.rename))
-        return node
 
     def _levels(self, refs: Iterable[PhysRef]) -> List[int]:
         out: List[int] = []
@@ -595,11 +625,35 @@ class Solver:
                     level_map[s] = d
         return self.manager.replace_map(level_map)
 
+    # ------------------------------------------------------------------
+    # Introspection (--profile, --explain-plan)
+    # ------------------------------------------------------------------
+
     def rule_profile(self) -> List[RuleProfile]:
         """Per-rule evaluation profile, most expensive first."""
         return sorted(
             self._profiles.values(), key=lambda p: p.seconds, reverse=True
         )
+
+    def explain_plans(self, executed_only: bool = False) -> str:
+        """Render the (optimized) plans for ``repro datalog --explain-plan``.
+        Run :meth:`solve` with ``trace_ops=True`` first to get the
+        cost annotations (execution counts, seconds, peak result nodes)."""
+        return format_unit(
+            self.plan_unit, self._strata, executed_only=executed_only
+        )
+
+    def plan_op_counts(self) -> Dict[str, int]:
+        """Static per-kind op counts over all compiled plans and slots
+        (the compile-time view; ``stats.plan_ops`` is the executed view)."""
+        counts: Dict[str, int] = {}
+        for plan in self._plans.values():
+            for op in plan.ops:
+                counts[op.kind] = counts.get(op.kind, 0) + 1
+        for slot in self.plan_unit.hoisted.values():
+            for op in slot.ops:
+                counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -609,14 +663,14 @@ class Solver:
         if self.manager.node_count() < self.gc_threshold:
             return
         roots = [rel.node for rel in self.relations.values()]
-        cached = list(self._prep_cache.items())
+        cached = list(self._hoist_cache.items())
         roots.extend(node for _, (_, node) in cached)
         if extra_roots:
             roots.extend(extra_roots)
         mapping = self.manager.collect_garbage(roots)
         for rel in self.relations.values():
             rel.remap(mapping)
-        self._prep_cache = {
+        self._hoist_cache = {
             key: (version, mapping[node]) for key, (version, node) in cached
         }
         if extra_roots:

@@ -99,7 +99,13 @@ def _job_solve_tc(job: Dict[str, Any]) -> Dict[str, Any]:
 
     n = int(job.get("chain", 12))
     prog = parse_program(_TC_SOURCE)
-    solver = Solver(prog, budget=_budget_from(job), backend=job.get("backend"))
+    solver = Solver(
+        prog,
+        budget=_budget_from(job),
+        backend=job.get("backend"),
+        optimize=job.get("optimize"),
+        disabled_passes=job.get("disabled_passes"),
+    )
     solver.add_tuples("edge", [(i, i + 1) for i in range(n)])
     t0 = time.monotonic()
     solver.solve()
@@ -146,7 +152,11 @@ def _job_analyze(job: Dict[str, Any]) -> Dict[str, Any]:
     t0 = time.monotonic()
     if not job.get("context_sensitive", True):
         result = ContextInsensitiveAnalysis(
-            facts=facts, budget=budget, backend=backend
+            facts=facts,
+            budget=budget,
+            backend=backend,
+            optimize=job.get("optimize"),
+            disabled_passes=job.get("disabled_passes"),
         ).run()
         solve_seconds = time.monotonic() - t0
         out = {
@@ -165,6 +175,8 @@ def _job_analyze(job: Dict[str, Any]) -> Dict[str, Any]:
             degrade=False,
             truncate_cap=int(job.get("truncate_cap", 64)),
             backend=backend,
+            optimize=job.get("optimize"),
+            disabled_passes=job.get("disabled_passes"),
         )
         result = analysis.run_rung(mode)
         solve_seconds = time.monotonic() - t0

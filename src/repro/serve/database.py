@@ -382,6 +382,8 @@ def compile_database(
     budget: Optional[ResourceBudget] = None,
     order_spec: Optional[str] = None,
     backend: Optional[str] = None,
+    optimize: Optional[bool] = None,
+    disabled_passes: Optional[Sequence[str]] = None,
 ) -> PointsToDatabase:
     """Solve a program once and package the result as a database.
 
@@ -417,6 +419,8 @@ def compile_database(
         discover_call_graph=True,
         budget=budget.share_deadline() if budget is not None else None,
         backend=backend,
+        optimize=optimize,
+        disabled_passes=disabled_passes,
     ).run()
     timings["context_insensitive_s"] = time.monotonic() - t0
     graph = ci.discovered_call_graph
@@ -438,6 +442,8 @@ def compile_database(
         ),
         degrade=False,
         backend=backend,
+        optimize=optimize,
+        disabled_passes=disabled_passes,
     ).run()
     timings["context_sensitive_s"] = time.monotonic() - t0
 
@@ -447,6 +453,8 @@ def compile_database(
         call_graph=graph,
         budget=budget.share_deadline() if budget is not None else None,
         backend=backend,
+        optimize=optimize,
+        disabled_passes=disabled_passes,
     ).run()
     timings["escape_s"] = time.monotonic() - t0
     escaped = sorted(esc.escaped_heaps())

@@ -79,6 +79,66 @@ class TestExplain:
         assert "node0" in text and "node1" in text
 
 
+DIAMOND = """
+.domains
+N 32
+.relations
+edge (src : N0, dst : N1) input
+path (src : N0, dst : N1) output
+wide (src : N0, dst : N1) output
+.rules
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+wide(x, z) :- path(x, z), path(x, z).
+"""
+
+
+class TestExplainMemoization:
+    """Sub-derivations are memoized by (relation, tuple, depth): a tuple
+    reachable along two branches of the tree is explained once and the
+    Derivation object shared (diamond regression)."""
+
+    @pytest.fixture()
+    def diamond(self):
+        solver = Solver(parse_program(DIAMOND))
+        solver.add_tuples("edge", [(i, i + 1) for i in range(12)])
+        solver.solve()
+        return solver
+
+    def test_shared_subderivation_is_same_object(self, diamond):
+        d = explain(diamond, "wide", (0, 12))
+        assert [c.relation for c in d.children] == ["path", "path"]
+        assert d.children[0] is d.children[1]
+
+    def test_diamond_tree_deduplicates_nodes(self, diamond):
+        d = explain(diamond, "wide", (0, 12))
+
+        def walk(node, seen_ids, keys):
+            seen_ids.add(id(node))
+            keys.append((node.relation, node.values))
+            for child in node.children:
+                walk(child, seen_ids, keys)
+
+        seen_ids, keys = set(), []
+        walk(d, seen_ids, keys)
+        # The two path(0, 12) branches collapse onto one shared subtree:
+        # distinct objects number half the with-repetition traversal
+        # (plus the root).
+        assert len(keys) > len(seen_ids)
+        assert len(seen_ids) == (len(keys) - 1) // 2 + 1
+
+    def test_memoized_tree_still_grounds_out(self, diamond):
+        d = explain(diamond, "wide", (0, 12))
+
+        def leaves(node):
+            if not node.children:
+                yield node
+            for child in node.children:
+                yield from leaves(child)
+
+        assert all(leaf.is_fact for leaf in leaves(d))
+
+
 class TestExplainWithNegation:
     def test_negated_rule_explained(self):
         text = """

@@ -161,11 +161,11 @@ p(x, z) :- p(x, y), e(y, z).
         )
         plan = compile_rule(prog, prog.rules[0], None)
         # y is dead after the second atom: the join must project it.
-        from repro.datalog.compiler import AtomStep
+        from repro.datalog.plan import RelProd
 
-        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
-        assert len(atom_steps) == 2
-        assert atom_steps[1].join_project, "join variable y should be projected"
+        joins = [op for op in plan.ops if isinstance(op, RelProd)]
+        assert len(joins) == 1
+        assert joins[0].refs, "join variable y should be projected"
 
     def test_delta_variant_marks_delta_atom(self):
         prog = parse_program(
@@ -179,12 +179,13 @@ p (a : N0, b : N1)
 p(x, z) :- p(x, y), e(y, z).
 """
         )
-        from repro.datalog.compiler import AtomStep
+        from repro.datalog.plan import Load
 
         plan = compile_rule(prog, prog.rules[0], 0)  # p is positive atom 0
-        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
-        assert atom_steps[0].use_delta
-        assert not atom_steps[1].use_delta
+        loads = [op for op in plan.ops if isinstance(op, Load)]
+        assert [op.relation for op in loads] == ["p", "e"]
+        assert loads[0].use_delta
+        assert not loads[1].use_delta
 
     def test_delta_atom_ordered_first(self):
         prog = parse_program(
@@ -198,12 +199,12 @@ p (a : N0, b : N1)
 p(x, z) :- e(x, y), p(y, z).
 """
         )
-        from repro.datalog.compiler import AtomStep
+        from repro.datalog.plan import Load
 
         plan = compile_rule(prog, prog.rules[0], 1)  # delta on p (index 1)
-        atom_steps = [s for s in plan.steps if isinstance(s, AtomStep)]
-        assert atom_steps[0].prep.relation == "p"
-        assert atom_steps[0].use_delta
+        loads = [op for op in plan.ops if isinstance(op, Load)]
+        assert loads[0].relation == "p"
+        assert loads[0].use_delta
 
     def test_phys_refs_enumerates_touched_domains(self):
         prog = parse_program(

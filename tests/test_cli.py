@@ -209,6 +209,97 @@ class TestDatalogSubcommand:
         assert main(["datalog", str(dl), "--domain", "N=banana"]) == 2
 
 
+class TestPlanFlags:
+    def test_explain_plan(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts), "--explain-plan"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer passes:" in out
+        assert "stratum" in out
+        assert "CopyInto" in out
+        assert "[x" in out  # per-op execution-cost annotations
+
+    def test_no_opt(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts), "--no-opt",
+             "--explain-plan"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unoptimized" in out
+        assert "path: 6 tuples" in out
+
+    def test_disable_pass(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts),
+             "--disable-pass", "hoist,cse", "--explain-plan"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slot#" not in out  # hoisting disabled: no preamble slots
+        assert "path: 6 tuples" in out
+
+    def test_unknown_pass_exit_65(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts),
+             "--disable-pass", "bogus"]
+        )
+        assert code == 65
+        err = capsys.readouterr().err
+        assert "unknown optimizer pass" in err
+        assert "Traceback" not in err
+
+    def test_profile_table(self, datalog_setup, capsys):
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts), "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applies" in out
+        assert "path(" in out
+
+    def test_profile_json(self, datalog_setup, capsys):
+        import json
+
+        dl, facts = datalog_setup
+        code = main(
+            ["datalog", str(dl), "--facts", str(facts), "--profile-json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):])
+        assert payload and {"rule", "applications", "seconds",
+                            "tuples_produced"} <= set(payload[0])
+
+    def test_analyze_profile_and_no_opt(self, clean_file, capsys):
+        code = main(
+            ["analyze", clean_file, "--no-library", "--no-opt", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "context-insensitive points-to" in out
+        assert "applies" in out
+
+    def test_same_answer_opt_and_noopt(self, datalog_setup, tmp_path, capsys):
+        dl, facts = datalog_setup
+        out_opt = tmp_path / "o1"
+        out_noopt = tmp_path / "o2"
+        assert main(["datalog", str(dl), "--facts", str(facts),
+                     "--out", str(out_opt)]) == 0
+        assert main(["datalog", str(dl), "--facts", str(facts), "--no-opt",
+                     "--out", str(out_noopt)]) == 0
+        assert (out_opt / "path.tuples").read_text() == (
+            out_noopt / "path.tuples"
+        ).read_text()
+
+
 class TestBudgetFlags:
     def test_generous_budget_runs_normally(self, clean_file, capsys):
         code = main(
