@@ -99,18 +99,33 @@ def _bench_warm_latency(
 
 
 class _ServerProcess:
-    """A ``repro serve`` subprocess on an ephemeral port."""
+    """A ``repro serve`` subprocess on an ephemeral port.
 
-    def __init__(self, db_path: str, cache_size: int = 4096) -> None:
+    ``extra_args`` extends the serve command line (admission limits,
+    retry hints); ``env_extra`` adds environment variables — the chaos
+    bench uses it to arm ``REPRO_FAULT`` seams in the child.
+    """
+
+    def __init__(
+        self,
+        db_path: str,
+        cache_size: int = 4096,
+        *,
+        extra_args: Sequence[str] = (),
+        env_extra: Optional[Dict[str, str]] = None,
+    ) -> None:
         env = dict(os.environ)
         src_root = str(pathlib.Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        if env_extra:
+            env.update(env_extra)
         self.proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
                 "--db", db_path, "--port", "0",
                 "--cache-size", str(cache_size),
                 "--max-connections", "64",
+                *extra_args,
             ],
             stderr=subprocess.PIPE,
             env=env,

@@ -90,6 +90,7 @@ __all__ = [
     "EXIT_USAGE",
     "EXIT_DATAERR",
     "EXIT_NOINPUT",
+    "EXIT_UNAVAILABLE",
     "EXIT_WORKER",
     "EXIT_BUDGET",
 ]
@@ -99,6 +100,7 @@ EXIT_VULNERABLE = 1
 EXIT_USAGE = 2
 EXIT_DATAERR = 65
 EXIT_NOINPUT = 66
+EXIT_UNAVAILABLE = 69  # sysexits EX_UNAVAILABLE: server absent/overloaded
 EXIT_WORKER = 70
 EXIT_BUDGET = 75
 
@@ -381,11 +383,21 @@ _QUERY_ERROR_EXITS = {
     "unknown-query": EXIT_USAGE,
     "not-found": EXIT_DATAERR,
     "unsupported": EXIT_DATAERR,
+    "reload-failed": EXIT_DATAERR,
     "budget-exceeded": EXIT_BUDGET,
+    "deadline-exceeded": EXIT_BUDGET,
+    # Transport/availability failures: the query was fine, the service
+    # was not — sysexits EX_UNAVAILABLE so wrappers can retry.
+    "connection-lost": EXIT_UNAVAILABLE,
+    "circuit-open": EXIT_UNAVAILABLE,
+    "overloaded": EXIT_UNAVAILABLE,
+    "shutting-down": EXIT_UNAVAILABLE,
 }
 
 
 def _cmd_query(args) -> int:
+    if getattr(args, "server", None):
+        return _query_server(args)
     if args.db:
         return _query_db(args)
     if args.kind in _DEMAND_KINDS:
@@ -410,20 +422,8 @@ def _cmd_query(args) -> int:
     return code
 
 
-def _query_db(args) -> int:
-    """Answer a demand query from a compiled ``.ptdb`` (no solving)."""
-    from .serve import PointsToDatabase, QueryEngine, QueryError
-
-    if args.kind not in _DEMAND_KINDS + ("escape",):
-        print(
-            f"repro: --kind {args.kind} needs a fresh solve and cannot be "
-            f"answered from --db (give the program file instead)",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE
-    db = PointsToDatabase.load(args.db, backend=args.backend)
-    engine = QueryEngine(db, default_timeout=args.timeout)
-    query_args = {}
+def _demand_query_args(args) -> dict:
+    query_args: dict = {}
     if args.kind == "points-to":
         query_args["variable"] = args.var
         if args.context is not None:
@@ -439,9 +439,62 @@ def _query_db(args) -> int:
         query_args["method"] = args.method
     elif args.kind == "escape":
         query_args["heap"] = args.heap
+    return query_args
+
+
+def _reject_solve_kind(args) -> bool:
+    if args.kind not in _DEMAND_KINDS + ("escape",):
+        print(
+            f"repro: --kind {args.kind} needs a fresh solve and cannot be "
+            f"answered remotely (give the program file instead)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
+def _query_db(args) -> int:
+    """Answer a demand query from a compiled ``.ptdb`` (no solving)."""
+    from .serve import PointsToDatabase, QueryEngine, QueryError
+
+    if _reject_solve_kind(args):
+        return EXIT_USAGE
+    db = PointsToDatabase.load(args.db, backend=args.backend)
+    engine = QueryEngine(db, default_timeout=args.timeout)
     try:
-        result = engine.query(args.kind, query_args)
+        result = engine.query(args.kind, _demand_query_args(args))
     except QueryError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return _QUERY_ERROR_EXITS.get(err.code, EXIT_DATAERR)
+    _print_query_result(args.kind, result)
+    return EXIT_OK
+
+
+def _query_server(args) -> int:
+    """Answer a demand query from a running ``repro serve`` instance.
+
+    Uses the resilient client (reconnect, backoff, circuit breaker,
+    retry-after honoring); transport failures exit with
+    ``EXIT_UNAVAILABLE`` (69) so shell wrappers can distinguish "server
+    down" from "query wrong"."""
+    from .serve import QueryError, ResilientClient, ServerError
+
+    if _reject_solve_kind(args):
+        return EXIT_USAGE
+    host, _, port_text = args.server.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"repro: --server wants HOST:PORT, got {args.server!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    deadline_ms = None if args.timeout is None else args.timeout * 1000.0
+    try:
+        with ResilientClient(host, int(port_text)) as client:
+            result = client.query(
+                args.kind, _demand_query_args(args), deadline_ms=deadline_ms
+            )
+    except (ServerError, QueryError) as err:
         print(f"repro: {err}", file=sys.stderr)
         return _QUERY_ERROR_EXITS.get(err.code, EXIT_DATAERR)
     _print_query_result(args.kind, result)
@@ -640,6 +693,8 @@ def _cmd_compile_db(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Serve demand queries for a compiled database over TCP."""
+    if args.supervised:
+        return _serve_supervised(args)
     from .serve import PointsToDatabase, PointsToServer
 
     db = PointsToDatabase.load(args.db, backend=args.backend)
@@ -652,9 +707,43 @@ def _cmd_serve(args) -> int:
         max_connections=args.max_connections,
         max_requests_per_connection=args.max_requests,
         idle_timeout=args.idle_timeout,
+        max_pending=args.max_pending,
+        retry_after_ms=args.retry_after_ms,
     )
+    # serve_forever installs the SIGHUP -> hot-reload handler itself.
     server.serve_forever()
     return EXIT_OK
+
+
+def _serve_supervised(args) -> int:
+    """Run the server as a supervised child: crash classification,
+    restart with backoff, crash reports, SIGHUP forwarding.  The child
+    re-runs this same CLI without ``--supervised``; once it announces
+    its port, that port is pinned across restarts."""
+    from .serve import ServeSupervisor
+
+    child = [
+        sys.executable, "-m", "repro", "serve",
+        "--db", args.db,
+        "--host", args.host,
+        "--port", str(args.port),
+        "--cache-size", str(args.cache_size),
+        "--max-connections", str(args.max_connections),
+        "--max-requests", str(args.max_requests),
+        "--idle-timeout", str(args.idle_timeout),
+        "--max-pending", str(args.max_pending),
+        "--retry-after-ms", str(args.retry_after_ms),
+    ]
+    if args.timeout is not None:
+        child += ["--timeout", str(args.timeout)]
+    if args.backend is not None:
+        child += ["--backend", args.backend]
+    supervisor = ServeSupervisor(
+        child,
+        max_restarts=args.max_restarts,
+        crash_dir=args.crash_dir,
+    )
+    return supervisor.run()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -799,6 +888,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--context", type=int, metavar="N",
         help="context number for points-to / mod-ref (with --db)",
     )
+    p_query.add_argument(
+        "--server", metavar="HOST:PORT",
+        help="answer from a running 'repro serve' instance (resilient "
+        "client: reconnect, backoff, circuit breaker; exit 69 when the "
+        "server is unreachable)",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_datalog = sub.add_parser(
@@ -872,6 +967,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
         help="close connections idle for this long (default 300)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=256, metavar="N",
+        help="admission control: pending-work limit before requests are "
+        "rejected with a typed 'overloaded' error (default 256)",
+    )
+    p_serve.add_argument(
+        "--retry-after-ms", type=int, default=200, metavar="MS",
+        help="base retry-after hint carried by 'overloaded' rejections "
+        "(default 200)",
+    )
+    p_serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the server as a supervised child process: crashes are "
+        "classified, reported, and restarted with backoff (exit 70 when "
+        "the restart budget is exhausted)",
+    )
+    p_serve.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="with --supervised: restarts allowed within one instability "
+        "window before giving up (default 5)",
+    )
+    p_serve.add_argument(
+        "--crash-dir", metavar="DIR",
+        help="with --supervised: directory for per-crash JSON reports "
+        "(default: $REPRO_CRASH_DIR)",
     )
     p_serve.add_argument(
         "--backend", metavar="NAME",

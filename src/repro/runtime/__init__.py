@@ -65,6 +65,7 @@ __all__ = [
     "Watchdog",
     "WorkerCrashed",
     "WorkerKilled",
+    "classify_exit",
     "WorkerPool",
     "load_checkpoint",
     "save_checkpoint",
@@ -77,6 +78,7 @@ _LAZY = {
     "Supervisor": "supervisor",
     "SupervisorConfig": "supervisor",
     "SupervisedResult": "supervisor",
+    "classify_exit": "supervisor",
     "WorkerPool": "worker",
 }
 

@@ -58,6 +58,31 @@ class ResourceBudget:
             self.deadline = time.monotonic() + self.timeout
         return self
 
+    @classmethod
+    def until(
+        cls,
+        deadline: float,
+        *,
+        node_budget: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> "ResourceBudget":
+        """A budget pinned to an *absolute* ``time.monotonic`` deadline.
+
+        The serve layer uses this for client-supplied ``deadline_ms``
+        propagation: the deadline was fixed when the request arrived, so
+        re-deriving it from a relative timeout at evaluation time would
+        silently extend it by the queueing delay.  ``timeout`` is set to
+        the remaining time at construction (for error messages); the
+        ``deadline`` field is authoritative.
+        """
+        budget = cls(
+            timeout=max(0.0, deadline - time.monotonic()),
+            node_budget=node_budget,
+            max_iterations=max_iterations,
+        )
+        budget.deadline = deadline
+        return budget
+
     def remaining(self) -> Optional[float]:
         """Seconds left before the deadline (``None`` = unbounded)."""
         if self.deadline is None:

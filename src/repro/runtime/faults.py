@@ -4,11 +4,13 @@ Real failure modes of a BDD analysis — a wedged ``rel_prod``, runaway
 allocation, a native-level abort — are timing-dependent and impossible to
 reproduce on demand.  This module plants *fault points* at the two places
 where pathology actually develops (the BDD kernel's ``mk`` stride and the
-solver's stratum loop, plus a ``probe`` site in the worker's test job) and
-arms them from a single environment variable, so every failure mode the
-supervisor must classify can be triggered deterministically::
+solver's stratum loop, plus a ``probe`` site in the worker's test job —
+and, for the serve layer, the accept loop, request dispatch, database
+load, and hot-swap publication points) and arms them from a single
+environment variable, so every failure mode the supervisor must classify
+can be triggered deterministically::
 
-    REPRO_FAULT="KIND@SITE[#HITS][~MAXATTEMPT][,KIND@SITE...]"
+    REPRO_FAULT="KIND@SITE[#HITS][%STRIDE][~MAXATTEMPT][,KIND@SITE...]"
 
 * ``KIND`` — one of
 
@@ -24,9 +26,20 @@ supervisor must classify can be triggered deterministically::
 
 * ``SITE`` — where to fire: ``bdd.mk`` (every watchdog stride inside the
   kernel's node constructor), ``solver.stratum`` (once per stratum and
-  per fixpoint iteration), or ``probe`` (the worker's test job).
+  per fixpoint iteration), ``probe`` (the worker's test job), or one of
+  the serve seams — ``serve.accept`` (per accepted connection),
+  ``serve.dispatch`` (per request dispatch), ``serve.db_load`` (inside
+  :meth:`PointsToDatabase.load`), ``serve.swap`` (the hot-swap
+  publication point, after the candidate validated but before it is
+  published).
 * ``#HITS`` — fire on the Nth arrival at the site (default 1), so a fault
   can be planted *mid*-solve, after checkpointable progress exists.
+* ``%STRIDE`` — once due, fire only every STRIDE-th arrival instead of
+  every arrival (default 1 = every arrival, the historical behavior).
+  ``exception@serve.dispatch#10%100`` turns the dispatch seam into an
+  *intermittent* fault — roughly 1% of requests fail — which is what the
+  chaos harness uses to measure availability under partial failure
+  rather than total outage.
 * ``~MAXATTEMPT`` — only fire while the supervisor attempt index (the
   ``REPRO_SUPERVISOR_ATTEMPT`` environment variable, 0-based) is below
   this bound.  ``exception@solver.stratum#3~1`` crashes the first attempt
@@ -77,12 +90,20 @@ class FaultSpecError(ValueError):
 
 
 class _Fault:
-    __slots__ = ("kind", "site", "after", "max_attempt", "hits")
+    __slots__ = ("kind", "site", "after", "stride", "max_attempt", "hits")
 
-    def __init__(self, kind: str, site: str, after: int, max_attempt: Optional[int]):
+    def __init__(
+        self,
+        kind: str,
+        site: str,
+        after: int,
+        max_attempt: Optional[int],
+        stride: int = 1,
+    ):
         self.kind = kind
         self.site = site
         self.after = after
+        self.stride = stride
         self.max_attempt = max_attempt
         self.hits = 0
 
@@ -101,6 +122,15 @@ def parse_spec(text: str) -> List[_Fault]:
                 max_attempt = int(bound)
             except ValueError:
                 raise FaultSpecError(f"bad attempt bound in fault spec {part!r}~{bound!r}")
+        stride = 1
+        if "%" in part:
+            part, _, every = part.rpartition("%")
+            try:
+                stride = int(every)
+            except ValueError:
+                raise FaultSpecError(f"bad stride in fault spec {part!r}%{every!r}")
+            if stride < 1:
+                raise FaultSpecError(f"stride must be >= 1, got {stride}")
         after = 1
         if "#" in part:
             part, _, count = part.rpartition("#")
@@ -113,11 +143,12 @@ def parse_spec(text: str) -> List[_Fault]:
         kind, sep, site = part.partition("@")
         if not sep or not site:
             raise FaultSpecError(
-                f"fault spec {part!r} must look like KIND@SITE[#HITS][~MAXATTEMPT]"
+                f"fault spec {part!r} must look like "
+                f"KIND@SITE[#HITS][%STRIDE][~MAXATTEMPT]"
             )
         if kind not in KINDS:
             raise FaultSpecError(f"unknown fault kind {kind!r} (one of {KINDS})")
-        faults.append(_Fault(kind, site, after, max_attempt))
+        faults.append(_Fault(kind, site, after, max_attempt, stride))
     return faults
 
 
@@ -161,6 +192,8 @@ def fire(site: str) -> None:
         return
     fault.hits += 1
     if fault.hits < fault.after:
+        return
+    if (fault.hits - fault.after) % fault.stride != 0:
         return
     _trigger(fault)
 

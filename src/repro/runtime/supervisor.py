@@ -53,6 +53,7 @@ __all__ = [
     "Supervisor",
     "SupervisorConfig",
     "SupervisedResult",
+    "classify_exit",
     "ladder_fallbacks",
 ]
 
@@ -149,6 +150,24 @@ class SupervisedResult:
             "wall_seconds": round(self.wall_seconds, 6),
             "attempts": [a.to_dict() for a in self.attempts],
         }
+
+
+def classify_exit(
+    exit_code: Optional[int], term_signal: Optional[int]
+) -> "tuple[str, str]":
+    """``(classification, message)`` for a child that died without a
+    protocol message — shared by the job supervisor and the serve
+    supervisor, so both report the same taxonomy."""
+    if term_signal == signal.SIGKILL:
+        return "oom-kill", "worker killed by SIGKILL (kernel OOM killer?)"
+    if term_signal == signal.SIGABRT:
+        return "abort", "worker died on SIGABRT"
+    if term_signal == signal.SIGSEGV:
+        return "segfault", "worker died on SIGSEGV"
+    if term_signal is not None:
+        name = signal.Signals(term_signal).name
+        return f"signal:{name}", f"worker died on {name}"
+    return "crash", f"worker exited {exit_code} without a protocol message"
 
 
 def ladder_fallbacks(job: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -269,23 +288,9 @@ class Supervisor:
         elif message is not None:
             record.classification = str(message.get("kind", "exception"))
             record.message = str(message.get("message", ""))
-        elif record.term_signal == signal.SIGKILL:
-            record.classification = "oom-kill"
-            record.message = "worker killed by SIGKILL (kernel OOM killer?)"
-        elif record.term_signal == signal.SIGABRT:
-            record.classification = "abort"
-            record.message = "worker died on SIGABRT"
-        elif record.term_signal == signal.SIGSEGV:
-            record.classification = "segfault"
-            record.message = "worker died on SIGSEGV"
-        elif record.term_signal is not None:
-            name = signal.Signals(record.term_signal).name
-            record.classification = f"signal:{name}"
-            record.message = f"worker died on {name}"
         else:
-            record.classification = "crash"
-            record.message = (
-                f"worker exited {proc.returncode} without a protocol message"
+            record.classification, record.message = classify_exit(
+                proc.returncode, record.term_signal
             )
         return record
 

@@ -11,6 +11,15 @@ The serving layer splits the paper's workflow in two:
   demand queries — points-to, aliases, mod-ref, callers, escape — by
   cheap BDD restriction, with caching, per-request budgets, and metrics.
 
+The server is built to stay up: hot-swap database reloads (the
+``reload`` verb / ``SIGHUP``) publish a new epoch atomically while
+in-flight queries drain on the old one; admission control sheds excess
+load with typed ``overloaded`` errors; client deadlines propagate into
+the engine's budget watchdog.  :class:`ResilientClient` pairs with it —
+reconnect, exponential backoff, a :class:`CircuitBreaker`, and
+retry-after honoring — and :class:`ServeSupervisor` keeps the whole
+process alive across crashes (``repro serve --supervised``).
+
 CLI entry points: ``repro compile-db``, ``repro serve``,
 ``repro query --db``.
 """
@@ -20,7 +29,14 @@ from .engine import QUERY_KINDS, QueryEngine, QueryError
 from .metrics import Metrics
 from .protocol import MAX_BATCH, MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError
 from .server import PointsToServer
-from .client import PointsToClient, ServerError
+from .client import (
+    CircuitBreaker,
+    ConnectionLostError,
+    PointsToClient,
+    ResilientClient,
+    ServerError,
+)
+from .supervise import ServeSupervisor
 
 __all__ = [
     "FORMAT_VERSION",
@@ -28,6 +44,8 @@ __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "QUERY_KINDS",
+    "CircuitBreaker",
+    "ConnectionLostError",
     "Metrics",
     "PointsToClient",
     "PointsToDatabase",
@@ -35,6 +53,8 @@ __all__ = [
     "ProtocolError",
     "QueryEngine",
     "QueryError",
+    "ResilientClient",
+    "ServeSupervisor",
     "ServerError",
     "compile_database",
 ]

@@ -45,7 +45,7 @@ from ..bdd import BDDError, Domain, create_kernel
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
 from ..datalog.relation import Attribute, Relation
 from ..ir.facts import Facts, extract_facts
-from ..runtime import InvalidInputError, ResourceBudget
+from ..runtime import InvalidInputError, ResourceBudget, faults
 from ..runtime.version import check_tool_version, tool_meta
 
 __all__ = [
@@ -252,6 +252,8 @@ class PointsToDatabase:
         magic, version mismatch, checksum failure, truncation, or a
         corrupt BDD payload (with the offending line number).
         """
+        if faults.armed:
+            faults.fire("serve.db_load")
         target = pathlib.Path(path)
         meta, payload, digest = _read_envelope(target)
         num_vars = int(meta.get("num_vars", 0))

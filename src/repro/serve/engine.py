@@ -62,12 +62,21 @@ class QueryError(Exception):
     """A query failed in a way the client should see as a typed error.
 
     ``code`` is one of the protocol error codes (``bad-argument``,
-    ``not-found``, ``unsupported``, ``budget-exceeded``).
+    ``not-found``, ``unsupported``, ``budget-exceeded``,
+    ``deadline-exceeded``, ``overloaded``, ``reload-failed``) or one of
+    the client-side transport codes (``connection-lost``,
+    ``circuit-open``) — the whole typed-failure hierarchy of the serve
+    subsystem roots here, so one exit-code map covers it.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, details: Optional[Dict[str, Any]] = None
+    ) -> None:
         super().__init__(message)
         self.code = code
+        # Optional structured payload merged into the wire error object
+        # (e.g. ``retry_after_ms`` on an ``overloaded`` rejection).
+        self.details = details
 
 
 class _InFlight:
@@ -121,9 +130,17 @@ class QueryEngine:
         args: Optional[Dict[str, Any]] = None,
         *,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
         use_cache: bool = True,
     ) -> Dict[str, Any]:
         """Evaluate one query; returns a JSON-serializable result dict.
+
+        ``deadline`` is an absolute ``time.monotonic`` instant (the serve
+        layer derives it from the client's ``deadline_ms`` at request
+        receipt).  It is checked up front and enforced mid-query through
+        the same :class:`ResourceBudget` watchdog as ``timeout``; when
+        the deadline is the binding constraint, expiry surfaces as a
+        typed ``deadline-exceeded`` rather than ``budget-exceeded``.
 
         Raises :class:`QueryError` for anything the caller did wrong or a
         blown budget; never raises for concurrent access.
@@ -139,6 +156,17 @@ class QueryEngine:
             raise QueryError(
                 "unknown-query",
                 f"unknown query kind {kind!r} (have {', '.join(QUERY_KINDS)})",
+            )
+        if deadline is not None and deadline <= start:
+            # Checked before any work (even a cache hit): an answer past
+            # the client's deadline is an answer the client discarded.
+            self.metrics.observe_query(
+                kind, 0.0, cache_hit=False, computed=False, error=True,
+            )
+            raise QueryError(
+                "deadline-exceeded",
+                f"deadline passed {(start - deadline) * 1e3:.0f}ms "
+                f"before evaluation started",
             )
         key = (self.db.db_id, kind, _canonical(args))
 
@@ -174,11 +202,18 @@ class QueryEngine:
             return flight.result
 
         try:
-            budget = self._budget_for(timeout)
+            budget, deadline_bound = self._budget_for(timeout, deadline)
             try:
                 with self._eval_lock:
                     result = self._evaluate(evaluator, args, budget)
-            except (SolverTimeout, NodeBudgetExceeded) as err:
+            except SolverTimeout as err:
+                if deadline_bound:
+                    raise QueryError(
+                        "deadline-exceeded",
+                        f"deadline passed mid-query: {err}",
+                    )
+                raise QueryError("budget-exceeded", str(err))
+            except NodeBudgetExceeded as err:
                 raise QueryError("budget-exceeded", str(err))
             if use_cache:
                 self._cache_put(key, result)
@@ -233,12 +268,22 @@ class QueryEngine:
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
 
-    def _budget_for(self, timeout: Optional[float]) -> Optional[ResourceBudget]:
+    def _budget_for(
+        self, timeout: Optional[float], deadline: Optional[float] = None
+    ) -> Tuple[Optional[ResourceBudget], bool]:
+        """The budget for one evaluation plus whether the *client
+        deadline* (not the timeout) is the binding constraint."""
         if timeout is None:
             timeout = self.default_timeout
+        if deadline is not None:
+            timeout_deadline = (
+                None if timeout is None else time.monotonic() + float(timeout)
+            )
+            if timeout_deadline is None or deadline <= timeout_deadline:
+                return ResourceBudget.until(deadline), True
         if timeout is None:
-            return None
-        return ResourceBudget(timeout=float(timeout)).start()
+            return None, False
+        return ResourceBudget(timeout=float(timeout)).start(), False
 
     def _evaluate(self, evaluator, args, budget) -> Dict[str, Any]:
         manager = self.db.manager

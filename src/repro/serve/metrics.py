@@ -94,6 +94,10 @@ class Metrics:
         self.requests_total = 0
         self.in_flight = 0
         self.peak_in_flight = 0
+        self.reloads_ok = 0
+        self.reloads_failed = 0
+        self.overload_rejections = 0
+        self.deadline_rejections = 0
 
     def _kind(self, kind: str) -> _KindStats:
         stats = self._kinds.get(kind)
@@ -161,6 +165,23 @@ class Metrics:
         with self._lock:
             self._errors[code] = self._errors.get(code, 0) + 1
 
+    def reload(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.reloads_ok += 1
+            else:
+                self.reloads_failed += 1
+
+    def admission_rejected(self, code: str) -> None:
+        """An ``overloaded`` or ``deadline-exceeded`` rejection: these are
+        the *correct* behavior under pressure, so they are counted apart
+        from protocol errors (availability math excludes them)."""
+        with self._lock:
+            if code == "overloaded":
+                self.overload_rejections += 1
+            else:
+                self.deadline_rejections += 1
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -186,6 +207,14 @@ class Metrics:
                 "requests_total": self.requests_total,
                 "in_flight": self.in_flight,
                 "peak_in_flight": self.peak_in_flight,
+                "reloads": {
+                    "ok": self.reloads_ok,
+                    "failed": self.reloads_failed,
+                },
+                "admission": {
+                    "overloaded": self.overload_rejections,
+                    "deadline": self.deadline_rejections,
+                },
             }
         hits = sum(k["cache_hits"] for k in kinds.values())
         misses = sum(k["cache_misses"] for k in kinds.values())

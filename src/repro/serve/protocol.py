@@ -1,4 +1,4 @@
-"""The newline-delimited JSON wire protocol (version 1).
+"""The newline-delimited JSON wire protocol (version 2).
 
 One request per line, one response line per request, UTF-8.  A request is
 a JSON object::
@@ -13,7 +13,9 @@ Verbs:
     database's id and summary.  Optional — clients may query directly.
 ``query``
     Evaluate one demand query (``kind`` + ``args``).  ``timeout_s``
-    bounds the evaluation; ``no_cache: true`` bypasses the result cache.
+    bounds the evaluation; ``deadline_ms`` is a client-supplied deadline
+    relative to server receipt (checked before dispatch and enforced
+    mid-query); ``no_cache: true`` bypasses the result cache.
 ``batch``
     ``requests`` holds a list of query request objects; the response's
     ``results`` list answers them in order (individual failures become
@@ -22,6 +24,15 @@ Verbs:
     Server metrics snapshot plus engine cache occupancy.
 ``ping``
     Liveness check.
+``health``
+    Readiness probe: current epoch, db id, uptime, reload counters.
+    Never subject to admission control — answers even under overload.
+``reload``
+    Hot-swap the served database: load a candidate ``.ptdb`` (from
+    ``path``, default the originally served file) off the request path,
+    validate it, and publish it atomically under a new epoch.  Optional
+    ``expect_db_id`` pins the candidate's identity.  A failed candidate
+    leaves the old database serving and answers ``reload-failed``.
 ``shutdown``
     Ask the server to stop accepting and drain (used by tests/CLI).
 
@@ -33,11 +44,20 @@ a ``result``, or ``"ok": false`` and an ``error`` object::
 
 Error codes: ``parse-error``, ``invalid-request``, ``unknown-verb``,
 ``unknown-query``, ``bad-argument``, ``not-found``, ``unsupported``,
-``budget-exceeded``, ``too-large``, ``server-error``, ``shutting-down``.
+``budget-exceeded``, ``too-large``, ``server-error``, ``shutting-down``,
+``overloaded`` (admission control rejected the request; the error object
+carries a ``retry_after_ms`` hint), ``deadline-exceeded`` (the client's
+``deadline_ms`` passed before or during evaluation), and
+``reload-failed`` (a hot-swap candidate did not validate; the previous
+database is still serving).
 A protocol-level fault (unparseable line, oversized request) is answered
 on a best-effort basis and the connection stays open; the server only
 closes a connection when the client disconnects, idles past the
 per-connection limit, or the server shuts down.
+
+Version history: v2 added ``health``/``reload``, ``deadline_ms``, and
+the three always-on error codes above.  v2 servers answer every v1
+request unchanged, so v1 clients interoperate.
 """
 
 from __future__ import annotations
@@ -58,13 +78,16 @@ __all__ = [
     "read_line",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 # Operational limits (documented in docs/serving.md).
 MAX_LINE_BYTES = 1 << 20  # 1 MiB per request line
 MAX_BATCH = 256  # sub-requests per batch
 
-VERBS = ("hello", "query", "batch", "stats", "ping", "shutdown")
+VERBS = (
+    "hello", "query", "batch", "stats", "ping", "health", "reload",
+    "shutdown",
+)
 
 ERROR_CODES = (
     "parse-error",
@@ -78,6 +101,9 @@ ERROR_CODES = (
     "too-large",
     "server-error",
     "shutting-down",
+    "overloaded",
+    "deadline-exceeded",
+    "reload-failed",
 )
 
 
@@ -98,9 +124,18 @@ def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
-    return {"id": request_id, "ok": False,
-            "error": {"code": code, "message": message}}
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    details: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """``details`` (e.g. ``{"retry_after_ms": 50}``) is merged into the
+    error object alongside ``code`` and ``message``."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if details:
+        error.update(details)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def decode_request(line: bytes) -> Dict[str, Any]:
@@ -132,6 +167,21 @@ def decode_request(line: bytes) -> Dict[str, Any]:
             raise ProtocolError("invalid-request", "'args' must be an object")
         if "timeout_s" in obj and not isinstance(obj["timeout_s"], (int, float)):
             raise ProtocolError("invalid-request", "'timeout_s' must be a number")
+        if "deadline_ms" in obj:
+            deadline = obj["deadline_ms"]
+            if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
+                    or deadline < 0:
+                raise ProtocolError(
+                    "invalid-request",
+                    "'deadline_ms' must be a non-negative number",
+                )
+    if verb == "reload":
+        if "path" in obj and not isinstance(obj["path"], str):
+            raise ProtocolError("invalid-request", "'path' must be a string")
+        if "expect_db_id" in obj and not isinstance(obj["expect_db_id"], str):
+            raise ProtocolError(
+                "invalid-request", "'expect_db_id' must be a string"
+            )
     if verb == "batch":
         requests = obj.get("requests")
         if not isinstance(requests, list):

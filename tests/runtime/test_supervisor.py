@@ -77,12 +77,38 @@ class TestFaultSpecs:
         specs = faults.parse_spec("exception@probe,hang@solver.stratum#3")
         assert [f.site for f in specs] == ["probe", "solver.stratum"]
 
+    def test_parse_stride(self):
+        (f,) = faults.parse_spec("exception@serve.dispatch#10%100")
+        assert (f.site, f.after, f.stride) == ("serve.dispatch", 10, 100)
+
+    def test_stride_defaults_to_every_arrival(self):
+        (f,) = faults.parse_spec("exception@probe#2")
+        assert f.stride == 1
+
     @pytest.mark.parametrize(
-        "bad", ["nope@probe", "exception", "exception@", "oom@x#zero", "oom@x#0"]
+        "bad",
+        [
+            "nope@probe", "exception", "exception@", "oom@x#zero", "oom@x#0",
+            "exception@x%0", "exception@x%minus",
+        ],
     )
     def test_parse_rejects(self, bad):
         with pytest.raises(FaultSpecError):
             faults.parse_spec(bad)
+
+    def test_stride_fires_intermittently(self):
+        # Due at hit 2, then every 3rd arrival: hits 2, 5, 8, ...
+        try:
+            faults.arm("exception@probe#2%3", attempt=0)
+            fired = []
+            for hit in range(1, 10):
+                try:
+                    faults.fire("probe")
+                except faults.FaultError:
+                    fired.append(hit)
+            assert fired == [2, 5, 8]
+        finally:
+            faults.disarm()
 
     def test_attempt_bound_filters(self):
         try:

@@ -65,3 +65,27 @@ def db_path(compiled_db, tmp_path_factory):
 @pytest.fixture(scope="session")
 def loaded_db(db_path):
     return PointsToDatabase.load(db_path)
+
+
+# A semantically different build of "the same service": ``Main.main:a``
+# points to TWO heaps here (one in the original).  Hot-swap tests flip
+# between the two databases and assert the answer tracks the epoch.
+SOURCE_V2 = SOURCE.replace(
+    "        a = new Object;\n",
+    "        a = new Object;\n        extra = new Object;\n        a = extra;\n",
+)
+
+
+@pytest.fixture(scope="session")
+def compiled_db_v2():
+    return compile_database(
+        parse_program(SOURCE_V2, include_library=False),
+        source_path="serve-test-v2.mj",
+    )
+
+
+@pytest.fixture(scope="session")
+def db_path_v2(compiled_db_v2, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ptdb") / "serve-test-v2.ptdb"
+    compiled_db_v2.save(path)
+    return str(path)

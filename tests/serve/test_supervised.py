@@ -1,0 +1,181 @@
+"""Supervised serving: crash classification, restart, port pinning.
+
+The end-to-end test runs the real ``repro serve`` CLI as a supervised
+child with an attempt-scoped injected crash (``abort@serve.dispatch#3~1``
+— SIGABRT on the third dispatch of attempt 0 only), and drives it with
+the circuit-breaker client: the workload must complete unattended across
+the crash and restart, against the *same* port.
+"""
+
+import json
+import os
+import pathlib
+import random
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.runtime.errors import WorkerCrashed
+from repro.serve import ResilientClient
+from repro.serve.supervise import ServeSupervisor
+
+SRC_ROOT = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _child_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+class TestPortPinning:
+    def test_pin_rewrites_existing_flag(self):
+        sup = ServeSupervisor(["prog", "--port", "0", "--db", "x"])
+        sup._pin_port(4242)
+        assert sup.argv == ["prog", "--port", "4242", "--db", "x"]
+
+    def test_pin_rewrites_equals_form(self):
+        sup = ServeSupervisor(["prog", "--port=0"])
+        sup._pin_port(4242)
+        assert sup.argv == ["prog", "--port=4242"]
+
+    def test_pin_appends_when_missing(self):
+        sup = ServeSupervisor(["prog"])
+        sup._pin_port(4242)
+        assert sup.argv == ["prog", "--port", "4242"]
+
+
+class TestRestartPolicy:
+    def _crashing_child(self, exits):
+        """A child argv that exits with the next code from ``exits``
+        (tracked via a counter file), simulating crash-then-stable."""
+        return exits
+
+    def test_budget_exhaustion_raises_worker_crashed(self, tmp_path):
+        sleeps = []
+        sup = ServeSupervisor(
+            [sys.executable, "-c", "import sys; sys.exit(3)"],
+            max_restarts=2,
+            backoff_base=0.01,
+            backoff_max=0.02,
+            jitter=0.0,
+            crash_dir=str(tmp_path),
+            log=open(os.devnull, "w"),
+            sleep=sleeps.append,
+            rng=random.Random(7),
+        )
+        with pytest.raises(WorkerCrashed) as exc:
+            sup.run()
+        assert exc.value.classification == "crash"
+        assert len(sleeps) == 2  # backoff before each allowed restart
+        reports = sorted(tmp_path.glob("crash-*.json"))
+        assert len(reports) == 3  # one per crashed incarnation
+        report = json.loads(reports[0].read_text())
+        assert report["attempt"]["classification"] == "crash"
+        assert report["attempt"]["exit_code"] == 3
+
+    def test_signal_death_classified(self, tmp_path):
+        sup = ServeSupervisor(
+            [sys.executable, "-c", "import os; os.abort()"],
+            max_restarts=0,
+            crash_dir=str(tmp_path),
+            log=open(os.devnull, "w"),
+            sleep=lambda _s: None,
+            rng=random.Random(7),
+        )
+        with pytest.raises(WorkerCrashed) as exc:
+            sup.run()
+        assert exc.value.classification == "abort"
+
+    def test_clean_exit_ends_supervision(self):
+        sup = ServeSupervisor(
+            [sys.executable, "-c", "pass"],
+            log=open(os.devnull, "w"),
+            sleep=lambda _s: None,
+        )
+        assert sup.run() == 0
+        assert sup.restarts == 0
+
+    def test_attempt_env_exported(self, tmp_path):
+        marker = tmp_path / "attempts.txt"
+        code = (
+            "import os, sys, pathlib\n"
+            f"p = pathlib.Path({str(marker)!r})\n"
+            "attempt = os.environ['REPRO_SUPERVISOR_ATTEMPT']\n"
+            "seen = p.read_text() if p.exists() else ''\n"
+            "p.write_text(seen + attempt + ',')\n"
+            "sys.exit(1 if len(seen) < 4 else 0)\n"
+        )
+        sup = ServeSupervisor(
+            [sys.executable, "-c", code],
+            max_restarts=5,
+            backoff_base=0.01,
+            backoff_max=0.02,
+            jitter=0.0,
+            log=open(os.devnull, "w"),
+            sleep=lambda _s: None,
+            rng=random.Random(7),
+        )
+        assert sup.run() == 0
+        assert marker.read_text() == "0,1,2,"
+
+
+class TestSupervisedServeEndToEnd:
+    def test_crash_restart_same_port_workload_completes(self, db_path, tmp_path):
+        """SIGABRT mid-serving, supervised restart, same port, and a
+        circuit-breaker client that finishes its workload unattended."""
+        crash_dir = tmp_path / "crashes"
+        sup = ServeSupervisor(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--db", db_path, "--port", "0",
+            ],
+            max_restarts=3,
+            backoff_base=0.05,
+            backoff_max=0.2,
+            jitter=0.0,
+            crash_dir=str(crash_dir),
+            # Attempt-scoped: only incarnation 0 aborts (on its 3rd
+            # dispatched request); the restart runs clean.
+            env=_child_env(REPRO_FAULT="abort@serve.dispatch#3~1"),
+            log=open(os.devnull, "w"),
+            rng=random.Random(7),
+        )
+        runner = threading.Thread(target=sup.run, daemon=True)
+        runner.start()
+        try:
+            assert sup.ready.wait(timeout=60.0), "server never announced"
+            port = sup.port
+            answers = []
+            with ResilientClient(
+                "127.0.0.1",
+                port,
+                timeout=10.0,
+                max_retries=20,
+                backoff_base=0.1,
+                backoff_max=1.0,
+                failure_threshold=30,
+                rng=random.Random(7),
+            ) as client:
+                for _ in range(10):
+                    result = client.query(
+                        "points-to",
+                        {"variable": "Main.main:a"},
+                        no_cache=True,
+                    )
+                    answers.append(result["count"])
+            assert answers == [1] * 10
+            assert sup.restarts == 1
+            assert sup.port == port  # pinned across the restart
+            reports = list(crash_dir.glob("crash-*.json"))
+            assert len(reports) == 1
+            report = json.loads(reports[0].read_text())
+            assert report["attempt"]["classification"] == "abort"
+        finally:
+            sup.stop()
+            runner.join(timeout=30.0)
+            assert not runner.is_alive()
