@@ -62,12 +62,17 @@ def make_solver(
     optimize: Optional[bool] = None,
     disabled_passes: Optional[Sequence[str]] = None,
     trace_ops: bool = False,
+    load_facts: bool = True,
 ) -> Solver:
     """Build a solver for ``source`` sized and named from ``facts``.
 
     Every declared input relation with a matching fact table is loaded
     automatically; relations like ``IEC`` that are installed as pre-built
-    BDDs are left empty for the driver to fill.
+    BDDs are left empty for the driver to fill.  ``load_facts=False``
+    skips that tuple encoding — for warm starts where a checkpoint is
+    about to overwrite every relation anyway, loading the fact tables
+    first is pure waste (it dominates the cost of an incremental
+    recompile).
     """
     if extra_text:
         source = source + "\n" + extra_text
@@ -94,9 +99,10 @@ def make_solver(
         disabled_passes=disabled_passes,
         trace_ops=trace_ops,
     )
-    for decl in program.relations.values():
-        if decl.is_input and decl.name in facts.relations:
-            solver.add_tuples(decl.name, facts.relations[decl.name])
+    if load_facts:
+        for decl in program.relations.values():
+            if decl.is_input and decl.name in facts.relations:
+                solver.add_tuples(decl.name, facts.relations[decl.name])
     return solver
 
 

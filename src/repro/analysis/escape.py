@@ -38,10 +38,164 @@ from .context_insensitive import (
     assign_edges_from_call_graph,
 )
 
-__all__ = ["ThreadEscapeAnalysis", "EscapeResult"]
+__all__ = [
+    "ThreadEscapeAnalysis",
+    "EscapeResult",
+    "EscapeInputs",
+    "thread_alloc_sites",
+    "build_escape_inputs",
+]
 
 GLOBAL_CONTEXT = 0
 MAIN_CONTEXT = 1
+
+
+def thread_alloc_sites(facts: Facts) -> List[Tuple[int, int]]:
+    """(heap id, run-method id) for every thread allocation site.
+
+    Needs the type hierarchy, so it only works on full extracted
+    :class:`Facts`; program-free fact sets (``repro.incremental``) store
+    the result instead and bypass this via the ``thread_sites`` override.
+    """
+    hierarchy = facts.hierarchy
+    type_names = facts.maps["T"]
+    out = []
+    for h, t in facts.relations["hT"]:
+        cls = type_names[t]
+        if cls == "Object" or not hierarchy.is_thread_type(cls):
+            continue
+        run = hierarchy.resolve(cls, "run")
+        if run is None:
+            continue
+        out.append((h, facts.method_id(run.qualified)))
+    return sorted(out)
+
+
+@dataclass
+class EscapeInputs:
+    """The driver-computed input relations of the Algorithm 7 solver.
+
+    Everything the Datalog program needs beyond the raw fact tables:
+    the thread-context assignment, the sized ``C`` domain, and the
+    ``assign`` / ``HT`` / ``vP0T`` / ``vP0`` tuple sets.  The incremental
+    driver recomputes these from edited facts and diffs them against a
+    checkpointed solver's inputs.
+    """
+
+    contexts: Dict[int, Tuple[int, int]]
+    c_size: int
+    assign: List[Tuple[int, int]]
+    ht: List[Tuple[int, int]]
+    vp0t: List[Tuple[int, int, int, int]]
+    vp0: List[Tuple[int, int]]
+
+
+def _reachable_without_spawn(
+    graph: CallGraph, roots: Sequence[int], start_sites: Set[int]
+) -> Set[int]:
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        m = stack.pop()
+        if m in seen:
+            continue
+        seen.add(m)
+        for edge in graph.successors(m):
+            if edge.site in start_sites:
+                continue  # crossing into another thread
+            stack.append(edge.callee)
+    return seen
+
+
+def build_escape_inputs(
+    facts: Facts,
+    graph: CallGraph,
+    thread_sites: Sequence[Tuple[int, int]],
+) -> EscapeInputs:
+    """Compute the Algorithm 7 inputs from facts + call graph.
+
+    Pure bookkeeping over the fact tables and the graph — no hierarchy
+    access, so it accepts both full :class:`Facts` and the program-free
+    fact sets of :mod:`repro.incremental`.
+    """
+    start_name = (
+        facts.id_of("N", "start") if "start" in facts.maps["N"] else None
+    )
+    start_sites = {i for _, i, n in facts.relations["mI"] if n == start_name}
+
+    # Context assignment: two contexts per thread allocation site.
+    contexts: Dict[int, Tuple[int, int]] = {}
+    next_ctx = 2
+    for h, _run in thread_sites:
+        contexts[h] = (next_ctx, next_ctx + 1)
+        next_ctx += 2
+    c_size = max(next_ctx, 2)
+
+    # Per-context reachable methods (main thread also runs the class
+    # initializers).
+    reach: Dict[int, Set[int]] = {
+        MAIN_CONTEXT: _reachable_without_spawn(
+            graph, facts.entry_method_ids(), start_sites
+        )
+    }
+    for h, run in thread_sites:
+        methods = _reachable_without_spawn(graph, [run], start_sites)
+        for ctx in contexts[h]:
+            reach[ctx] = methods
+
+    # HT: non-thread allocation sites each context may execute.
+    thread_heap_ids = {h for h, _ in thread_sites}
+    ht: Set[Tuple[int, int]] = set()
+    for ctx, methods in reach.items():
+        for m in methods:
+            for h in facts.alloc_sites.get(m, ()):
+                if h not in thread_heap_ids:
+                    ht.add((ctx, h))
+
+    # vP0T: thread-object bindings and the global object.
+    creator_var: Dict[int, int] = {}
+    for v, h in facts.relations["vP0"]:
+        if h in thread_heap_ids:
+            creator_var[h] = v
+    vp0t: Set[Tuple[int, int, int, int]] = set()
+    for h, run in thread_sites:
+        owner = facts.site_method.get(h)
+        creator_ctxs = [c for c, methods in reach.items() if owner in methods]
+        dst = creator_var.get(h)
+        for ct in contexts[h]:
+            if dst is not None:
+                for cc in creator_ctxs:
+                    vp0t.add((cc, dst, ct, h))
+            # The run() clone's `this` points to its own thread object.
+            for m, z, v in facts.relations["formal"]:
+                if m == run and z == 0:
+                    vp0t.add((ct, v, ct, h))
+    global_v = facts.id_of("V", "<global>")
+    global_h = facts.id_of("H", "<global>")
+    for ctx in range(c_size):
+        vp0t.add((ctx, global_v, GLOBAL_CONTEXT, global_h))
+
+    # assign: call-graph bindings minus start->run receivers.
+    assign = list(
+        assign_edges_from_call_graph(facts, graph, skip_thread_start=True)
+    )
+    assign.extend(facts.relations["assign0"])
+
+    # Exclude the global's own vP0 tuple: it is modeled through vP0T
+    # with the shared context.
+    vp0 = [
+        (v, h)
+        for v, h in facts.relations["vP0"]
+        if (v, h) != (global_v, global_h)
+    ]
+    return EscapeInputs(
+        contexts=contexts,
+        c_size=c_size,
+        assign=sorted(set(assign)),
+        ht=sorted(ht),
+        vp0t=sorted(vp0t),
+        vp0=sorted(vp0),
+    )
 
 
 @dataclass
@@ -137,12 +291,14 @@ class ThreadEscapeAnalysis:
         optimize: Optional[bool] = None,
         disabled_passes: Optional[Sequence[str]] = None,
         trace_ops: bool = False,
+        thread_sites: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> None:
         if facts is None:
             if program is None:
                 raise AnalysisError("provide a Program or extracted Facts")
             facts = extract_facts(program)
         self.facts = facts
+        self.thread_sites = thread_sites
         self.call_graph = call_graph
         self.use_cha_graph = use_cha_graph
         self.order_spec = order_spec
@@ -170,113 +326,21 @@ class ThreadEscapeAnalysis:
         return ci.discovered_call_graph
 
     def _thread_alloc_sites(self) -> List[Tuple[int, int]]:
-        """(heap id, run-method id) for every thread allocation site."""
-        facts = self.facts
-        hierarchy = facts.hierarchy
-        type_names = facts.maps["T"]
-        out = []
-        for h, t in facts.relations["hT"]:
-            cls = type_names[t]
-            if cls == "Object" or not hierarchy.is_thread_type(cls):
-                continue
-            run = hierarchy.resolve(cls, "run")
-            if run is None:
-                continue
-            out.append((h, facts.method_id(run.qualified)))
-        return sorted(out)
-
-    def _reachable_without_spawn(
-        self, graph: CallGraph, roots: Sequence[int], start_sites: Set[int]
-    ) -> Set[int]:
-        seen: Set[int] = set()
-        stack = list(roots)
-        while stack:
-            m = stack.pop()
-            if m in seen:
-                continue
-            seen.add(m)
-            for edge in graph.successors(m):
-                if edge.site in start_sites:
-                    continue  # crossing into another thread
-                stack.append(edge.callee)
-        return seen
+        if self.thread_sites is not None:
+            return sorted(tuple(site) for site in self.thread_sites)
+        return thread_alloc_sites(self.facts)
 
     def run(self) -> EscapeResult:
         start_time = time.monotonic()
         facts = self.facts
         graph = self._obtain_call_graph()
-        thread_sites = self._thread_alloc_sites()
-
-        start_name = (
-            facts.id_of("N", "start") if "start" in facts.maps["N"] else None
-        )
-        start_sites = {i for _, i, n in facts.relations["mI"] if n == start_name}
-
-        # Context assignment.
-        contexts: Dict[int, Tuple[int, int]] = {}
-        next_ctx = 2
-        for h, _run in thread_sites:
-            contexts[h] = (next_ctx, next_ctx + 1)
-            next_ctx += 2
-        c_size = max(next_ctx, 2)
-
-        # Per-context reachable methods (main thread also runs the class
-        # initializers).
-        reach: Dict[int, Set[int]] = {
-            MAIN_CONTEXT: self._reachable_without_spawn(
-                graph, facts.entry_method_ids(), start_sites
-            )
-        }
-        for h, run in thread_sites:
-            methods = self._reachable_without_spawn(graph, [run], start_sites)
-            for ctx in contexts[h]:
-                reach[ctx] = methods
-
-        # HT: non-thread allocation sites each context may execute.
-        thread_heap_ids = {h for h, _ in thread_sites}
-        ht: Set[Tuple[int, int]] = set()
-        for ctx, methods in reach.items():
-            for m in methods:
-                for h in facts.alloc_sites.get(m, ()):
-                    if h not in thread_heap_ids:
-                        ht.add((ctx, h))
-
-        # vP0T: thread-object bindings and the global object.
-        creator_var: Dict[int, int] = {}
-        for v, h in facts.relations["vP0"]:
-            if h in thread_heap_ids:
-                creator_var[h] = v
-        vp0t: Set[Tuple[int, int, int, int]] = set()
-        method_names = facts.maps["M"]
-        for h, run in thread_sites:
-            owner = facts.site_method.get(h)
-            creator_ctxs = [c for c, methods in reach.items() if owner in methods]
-            dst = creator_var.get(h)
-            for ct in contexts[h]:
-                if dst is not None:
-                    for cc in creator_ctxs:
-                        vp0t.add((cc, dst, ct, h))
-                # The run() clone's `this` points to its own thread object.
-                run_this = facts.relations["formal"]
-                for m, z, v in run_this:
-                    if m == run and z == 0:
-                        vp0t.add((ct, v, ct, h))
-        global_v = facts.id_of("V", "<global>")
-        global_h = facts.id_of("H", "<global>")
-        for ctx in range(c_size):
-            vp0t.add((ctx, global_v, GLOBAL_CONTEXT, global_h))
-
-        # assign: call-graph bindings minus start->run receivers.
-        assign = list(
-            assign_edges_from_call_graph(facts, graph, skip_thread_start=True)
-        )
-        assign.extend(facts.relations["assign0"])
+        inputs = build_escape_inputs(facts, graph, self._thread_alloc_sites())
 
         source = load_datalog_source("algorithm7")
         solver = make_solver(
             facts,
             source,
-            size_overrides={"C": c_size},
+            size_overrides={"C": inputs.c_size},
             order_spec=self.order_spec,
             budget=self.budget,
             backend=self.backend,
@@ -284,20 +348,15 @@ class ThreadEscapeAnalysis:
             disabled_passes=self.disabled_passes,
             trace_ops=self.trace_ops,
         )
-        solver.add_tuples("assign", assign)
-        solver.add_tuples("HT", sorted(ht))
-        solver.add_tuples("vP0T", sorted(vp0t))
-        # Exclude the global's own vP0 tuple: it is modeled through vP0T
-        # with the shared context.
-        vp0 = [
-            (v, h) for v, h in facts.relations["vP0"] if (v, h) != (global_v, global_h)
-        ]
-        solver.relation("vP0").set_tuples(vp0)
+        solver.add_tuples("assign", inputs.assign)
+        solver.add_tuples("HT", inputs.ht)
+        solver.add_tuples("vP0T", inputs.vp0t)
+        solver.relation("vP0").set_tuples(inputs.vp0)
         solver.solve()
         seconds = time.monotonic() - start_time
         return EscapeResult(
             facts=facts,
             solver=solver,
             seconds=seconds,
-            thread_contexts=contexts,
+            thread_contexts=inputs.contexts,
         )

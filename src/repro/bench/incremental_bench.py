@@ -1,0 +1,274 @@
+"""Incremental recompile benchmark: edit cost vs from-scratch cost.
+
+For each corpus entry and kernel backend this compiles the full
+points-to database once (with its ``.ptdb.fix`` fixpoint bundle), then
+applies synthetic fact diffs of 1, 10, and 100 tuples — a mix of
+``vP0`` additions and ``store`` removals — through
+:func:`repro.incremental.recompile_database` and through a from-scratch
+:func:`repro.serve.compile_database` of the same edited fact set.  Each
+row records both wall clocks, the per-phase incremental strategy
+(``delta``/``recomputed``), and the differential gate: the incremental
+``db_id`` must equal the from-scratch ``db_id`` bit for bit.
+
+The headline (ISSUE 8 acceptance) is the 1-tuple edit on the largest
+entry: incremental recompile at least 10x faster than a full
+``compile-db``, fingerprint-identical, on both backends.
+
+Writes ``results/BENCH_incremental.json``::
+
+    PYTHONPATH=src python -m repro.bench.incremental_bench
+    PYTHONPATH=src python -m repro.bench.incremental_bench --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["synth_edit", "run_incremental_bench", "main"]
+
+DEFAULT_BACKENDS = ("reference", "packed")
+DEFAULT_ENTRIES = ("jetty", "gruntspud")
+DEFAULT_EDIT_SIZES = (1, 10, 100)
+
+
+def synth_edit(fs, size: int):
+    """A deterministic ``size``-tuple diff against fact set ``fs``.
+
+    Additions are new ``vP0`` pairs — existing points-to variables
+    crossed with existing allocation sites, skipping pairs already
+    present — and removals are evenly spaced existing ``store`` tuples
+    (falling back to ``load`` if the store table is small).  A 1-tuple
+    edit is a pure addition (the headline case: one new allocation
+    statement).  No randomness: the same fact set and size always
+    produce the same diff, so runs are reproducible.
+    """
+    from ..incremental import FactDiff
+
+    n_remove = 0 if size == 1 else size // 2
+    n_add = size - n_remove
+
+    vp0 = set(fs.relations.get("vP0", ()))
+    vars_ = sorted({v for v, _ in vp0})
+    heaps = sorted({h for _, h in vp0})
+    added: List[tuple] = []
+    for v in vars_:
+        for h in heaps:
+            if (v, h) not in vp0:
+                added.append((v, h))
+                if len(added) == n_add:
+                    break
+        if len(added) == n_add:
+            break
+    if len(added) < n_add:
+        raise ValueError(
+            f"fact set too dense for a {size}-tuple edit "
+            f"({len(added)} new vP0 pairs available)"
+        )
+
+    removed: Dict[str, List[tuple]] = {}
+    need = n_remove
+    for rel in ("store", "load"):
+        if not need:
+            break
+        rows = sorted(fs.relations.get(rel, ()))
+        step = max(1, len(rows) // max(need, 1))
+        take = rows[::step][:need]
+        if take:
+            removed[rel] = [tuple(t) for t in take]
+            need -= len(take)
+    if need:
+        raise ValueError(
+            f"fact set too small for a {size}-tuple edit "
+            f"({n_remove - need} removable tuples available)"
+        )
+
+    return FactDiff(
+        added={"vP0": added},
+        removed=removed,
+        name=f"<synthetic edit, {size} tuples>",
+    )
+
+
+def bench_entry(
+    entry: str,
+    backend: str,
+    edit_sizes: Sequence[int],
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    """Full compile + per-edit-size incremental/fresh comparison."""
+    from ..incremental import FactSet, recompile_database, write_fixpoint_bundle
+    from ..ir.facts import extract_facts
+    from ..serve import compile_database, compile_database_with_state
+    from .corpus import corpus_program
+
+    facts = extract_facts(corpus_program(entry))
+    t0 = time.monotonic()
+    db, state = compile_database_with_state(facts=facts, backend=backend)
+    full_s = time.monotonic() - t0
+    if verbose:
+        print(f"  full compile: {full_s:.2f}s (db {db.db_id})", flush=True)
+
+    fs = FactSet.from_db_meta(db.meta, f"{entry}.ptdb")
+    row: Dict[str, Any] = {
+        "full_compile_s": round(full_s, 3),
+        "db_id": db.db_id,
+        "edits": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="incbench-") as tmp:
+        bundle = pathlib.Path(tmp) / f"{entry}.ptdb.fix"
+        write_fixpoint_bundle(bundle, db, state)
+        for size in edit_sizes:
+            diff = synth_edit(fs, size)
+            t0 = time.monotonic()
+            res = recompile_database(
+                db, diff, fixpoint_path=bundle, backend=backend
+            )
+            inc_s = time.monotonic() - t0
+
+            new_fs, _ = fs.apply_diff(diff.resolve(fs))
+            t0 = time.monotonic()
+            fresh = compile_database(facts=new_fs, backend=backend)
+            fresh_s = time.monotonic() - t0
+
+            equal = res.db.db_id == fresh.db_id
+            cell = {
+                "diff": diff.summary(),
+                "incremental_s": round(inc_s, 3),
+                "fresh_compile_s": round(fresh_s, 3),
+                "speedup": round(fresh_s / inc_s, 2) if inc_s else None,
+                "db_id_equal": equal,
+                "incremental_db_id": res.db.db_id,
+                "fresh_db_id": fresh.db_id,
+                "modes": dict(res.modes),
+                "phase_timings": {
+                    k: round(v, 3) for k, v in sorted(res.timings.items())
+                },
+            }
+            row["edits"][str(size)] = cell
+            if verbose:
+                print(
+                    f"  edit {size:>3}: incremental {inc_s:.2f}s vs fresh "
+                    f"{fresh_s:.2f}s ({cell['speedup']}x) "
+                    f"equal={equal} modes={res.modes}",
+                    flush=True,
+                )
+            if not equal:
+                raise AssertionError(
+                    f"{entry}/{backend}/edit={size}: incremental db_id "
+                    f"{res.db.db_id} != fresh {fresh.db_id} — the "
+                    f"differential gate failed"
+                )
+    return row
+
+
+def run_incremental_bench(
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    entries: Sequence[str] = DEFAULT_ENTRIES,
+    edit_sizes: Sequence[int] = DEFAULT_EDIT_SIZES,
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    results: Dict[str, Any] = {}
+    for entry in entries:
+        results[entry] = {}
+        for backend in backends:
+            if verbose:
+                print(f"{entry} / {backend}:", flush=True)
+            results[entry][backend] = bench_entry(
+                entry, backend, edit_sizes, verbose=verbose
+            )
+
+    # Headline: the 1-tuple edit on the last (largest) entry, reported
+    # as the worst speedup across backends so the claim holds for both.
+    headline: Optional[Dict[str, Any]] = None
+    largest = entries[-1]
+    small = str(min(edit_sizes))
+    cells = [
+        (be, results[largest][be]["edits"].get(small))
+        for be in backends
+        if results[largest][be]["edits"].get(small)
+    ]
+    if cells:
+        worst_be, worst = min(cells, key=lambda c: c[1]["speedup"])
+        headline = {
+            "entry": largest,
+            "edit_size": int(small),
+            "worst_backend": worst_be,
+            "speedup": worst["speedup"],
+            "db_id_equal": all(c[1]["db_id_equal"] for c in cells),
+            "target": 10.0,
+            "meets_target": worst["speedup"] >= 10.0,
+        }
+
+    return {
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "backends": list(backends),
+            "entries": list(entries),
+            "edit_sizes": list(edit_sizes),
+        },
+        "entries": results,
+        "headline": headline,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--backends", default=",".join(DEFAULT_BACKENDS), metavar="A,B",
+        help="kernel backends to gate against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--entries", default=",".join(DEFAULT_ENTRIES), metavar="NAME,NAME",
+        help="corpus entries, smallest first — the last one carries the "
+        "headline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--edit-sizes", default=",".join(map(str, DEFAULT_EDIT_SIZES)),
+        metavar="N,N", help="edit sizes in tuples (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small corpus entries and edit sizes (CI)",
+    )
+    args = parser.parse_args(argv)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    entries = [n.strip() for n in args.entries.split(",") if n.strip()]
+    sizes: Tuple[int, ...] = tuple(
+        int(s) for s in args.edit_sizes.split(",") if s.strip()
+    )
+    if args.smoke:
+        entries = ["freetts", "jetty"]
+        sizes = (1, 10)
+    data = run_incremental_bench(
+        backends=backends, entries=entries, edit_sizes=sizes
+    )
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    artifact = out / "BENCH_incremental.json"
+    artifact.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {artifact}")
+    if data["headline"]:
+        h = data["headline"]
+        print(
+            f"headline: {h['entry']} {h['edit_size']}-tuple edit "
+            f"{h['speedup']}x (worst backend: {h['worst_backend']}), "
+            f"fingerprints equal: {h['db_id_equal']}, "
+            f"target >=10x: {'PASS' if h['meets_target'] else 'FAIL'}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

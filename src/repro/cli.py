@@ -658,7 +658,8 @@ def _cmd_datalog(args) -> int:
 
 def _cmd_compile_db(args) -> int:
     """Solve once and persist the result as a ``.ptdb`` database."""
-    from .serve import compile_database
+    from .incremental import bundle_path_for, write_fixpoint_bundle
+    from .serve import compile_database_with_state
 
     source_text = pathlib.Path(args.program).read_text()
     program = parse_program(
@@ -666,7 +667,7 @@ def _cmd_compile_db(args) -> int:
     )
     out = args.out or str(pathlib.Path(args.program).with_suffix(".ptdb"))
     start = time.monotonic()
-    db = compile_database(
+    db, state = compile_database_with_state(
         program,
         source_path=args.program,
         source_sha256=hashlib.sha256(source_text.encode()).hexdigest(),
@@ -688,6 +689,77 @@ def _cmd_compile_db(args) -> int:
     )
     print(f"  relations: {counts}")
     print(f"  call paths: {db.meta['paths']}, solve time {solve_seconds:.2f}s")
+    if not args.no_fixpoint:
+        fix = write_fixpoint_bundle(
+            bundle_path_for(out), db, state, modref=not args.no_modref
+        )
+        print(f"  fixpoint bundle: {fix} (warm starts for 'repro recompile')")
+    return EXIT_OK
+
+
+def _cmd_recompile(args) -> int:
+    """Apply a fact diff to a compiled database: delta in, delta out."""
+    from .incremental import (
+        bundle_path_for,
+        recompile_database,
+        write_fixpoint_bundle,
+    )
+
+    optimize, disabled = _plan_opts(args)
+    start = time.monotonic()
+    result = recompile_database(
+        args.db,
+        args.diff,
+        fixpoint_path=args.fixpoint,
+        backend=args.backend,
+        budget=_budget_of(args),
+        optimize=optimize,
+        disabled_passes=disabled,
+    )
+    db = result.db
+    nodes = db.save(args.out)
+    if result.state is not None and not args.no_fixpoint_out:
+        write_fixpoint_bundle(
+            bundle_path_for(args.out),
+            db,
+            result.state,
+            modref=bool(db.meta.get("config", {}).get("modref", True)),
+        )
+    elif result.state is None and not args.no_fixpoint_out:
+        # No-op recompile: the parent's fixpoint is still this fixpoint.
+        src = pathlib.Path(
+            args.fixpoint if args.fixpoint else bundle_path_for(args.db)
+        )
+        if src.exists():
+            from .runtime import atomic_write_text
+
+            atomic_write_text(bundle_path_for(args.out), src.read_text())
+    seconds = time.monotonic() - start
+    modes = ", ".join(f"{k}={v}" for k, v in sorted(result.modes.items()))
+    size = pathlib.Path(args.out).stat().st_size
+    print(
+        f"recompiled {args.db} + {args.diff} -> {args.out} "
+        f"({size} bytes, {nodes} BDD nodes)"
+    )
+    print(f"  db {result.parent_db_id} -> {db.db_id} ({modes})")
+    print(f"  recompile time {seconds:.2f}s")
+    if args.notify:
+        host, _, port = args.notify.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"  bad --notify {args.notify!r}: use HOST:PORT",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        from .serve import PointsToClient
+
+        with PointsToClient(host, int(port)) as client:
+            reply = client.reload(
+                path=str(pathlib.Path(args.out).resolve()),
+                expect_db_id=db.db_id,
+            )
+        print(
+            f"  notified {args.notify}: reloaded db {reply.get('db_id')} "
+            f"(epoch {reply.get('epoch')})"
+        )
     return EXIT_OK
 
 
@@ -934,7 +1006,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-modref", action="store_true",
         help="skip the mod-ref fragment (smaller db, no mod-ref queries)",
     )
+    p_compile.add_argument(
+        "--no-fixpoint", action="store_true",
+        help="skip the .ptdb.fix fixpoint bundle (smaller output, but "
+        "'repro recompile' falls back to from-scratch solves)",
+    )
     p_compile.set_defaults(func=_cmd_compile_db)
+
+    p_recompile = sub.add_parser(
+        "recompile",
+        help="apply a fact diff to a .ptdb: delta facts in, delta db out",
+    )
+    p_recompile.add_argument(
+        "--db", required=True, metavar="OLD.ptdb",
+        help="baseline database the diff applies to",
+    )
+    p_recompile.add_argument(
+        "--diff", required=True, metavar="EDIT.json",
+        help="fact diff file (see docs/incremental.md for the format)",
+    )
+    p_recompile.add_argument(
+        "-o", "--out", required=True, metavar="NEW.ptdb",
+        help="output path for the recompiled database",
+    )
+    p_recompile.add_argument(
+        "--fixpoint", metavar="FILE.fix",
+        help="fixpoint bundle for warm starts (default: OLD.ptdb.fix "
+        "beside the database; missing or stale bundles degrade to a "
+        "cold compile)",
+    )
+    p_recompile.add_argument(
+        "--no-fixpoint-out", action="store_true",
+        help="do not write NEW.ptdb.fix beside the output",
+    )
+    p_recompile.add_argument(
+        "--notify", metavar="HOST:PORT",
+        help="after writing, ask a running 'repro serve' to hot-swap to "
+        "the new database (reload verb, db_id-checked)",
+    )
+    budget_flags(p_recompile)
+    plan_flags(p_recompile)
+    p_recompile.set_defaults(func=_cmd_recompile)
 
     p_serve = sub.add_parser(
         "serve", help="serve demand queries for a compiled database"

@@ -196,6 +196,9 @@ class Solver:
             self._rule_of_plan[id(plan)] = rule_idx
         self._solved = False
         self._watchdog: Optional[Watchdog] = None
+        # External delta nodes solve_incremental must keep alive (and
+        # remapped) across garbage collections.
+        self._gc_protect: Optional[List[int]] = None
         # Resume bookkeeping: index of the last stratum that reached
         # fixpoint, and the one executing when a budget fault fired.
         self.last_completed_stratum = -1
@@ -335,19 +338,7 @@ class Solver:
                 if faults.armed:
                     faults.fire("solver.stratum")
                 if stratum.rules:
-                    recursive = set(map(id, stratum.recursive_rules))
-                    once_rules = [
-                        r for r in stratum.rules if id(r) not in recursive
-                    ]
-                    # Rules with no recursive dependency run exactly once.
-                    for rule in once_rules:
-                        plan = self._plans[(rule_index[id(rule)], None)]
-                        self._apply_plan(plan, None)
-                    if stratum.recursive_rules:
-                        if self.naive:
-                            self._solve_stratum_naive(stratum, rule_index)
-                        else:
-                            self._solve_stratum_seminaive(stratum, rule_index)
+                    self._run_stratum(stratum, rule_index)
                 self.last_completed_stratum = index
         except ReproError as err:
             self.stats.seconds = time.monotonic() - start
@@ -368,6 +359,194 @@ class Solver:
         self._record_manager_stats()
         self._solved = True
         return self.stats
+
+    def _run_stratum(self, stratum: Stratum, rule_index: Dict[int, int]) -> None:
+        """Evaluate one stratum from its current relation state."""
+        recursive = set(map(id, stratum.recursive_rules))
+        once_rules = [r for r in stratum.rules if id(r) not in recursive]
+        # Rules with no recursive dependency run exactly once.
+        for rule in once_rules:
+            plan = self._plans[(rule_index[id(rule)], None)]
+            self._apply_plan(plan, None)
+        if stratum.recursive_rules:
+            if self.naive:
+                self._solve_stratum_naive(stratum, rule_index)
+            else:
+                self._solve_stratum_seminaive(stratum, rule_index)
+
+    def dependents(self, changed: Iterable[str]) -> Set[str]:
+        """Transitive closure of ``changed`` under body -> head rule edges
+        (both positive and negated occurrences propagate influence)."""
+        out = set(changed)
+        grew = True
+        while grew:
+            grew = False
+            for rule in self.program.rules:
+                head = rule.head.relation
+                if head in out:
+                    continue
+                for atom in rule.positive_atoms + rule.negative_atoms:
+                    if atom.relation in out:
+                        out.add(head)
+                        grew = True
+                        break
+        return out
+
+    def solve_incremental(
+        self, added: Dict[str, int], dirty: Iterable[str] = ()
+    ) -> SolveStats:
+        """Re-solve after an *input edit*, reusing the previous fixpoint.
+
+        Preconditions: every relation currently holds its value at the
+        previous fixpoint, except the edited inputs, which already hold
+        their **new** values.  ``added[name]`` is the BDD of tuples newly
+        added to input ``name``; names in ``dirty`` are inputs that may
+        have *lost* tuples.
+
+        Strata are processed in order.  A stratum none of whose rules read
+        a changed relation is skipped — its previous values are already
+        the fixpoint.  A stratum whose changed dependencies are all
+        grow-only and read through positive atoms is continued
+        *semi-naively*: the pending deltas are pushed through the delta
+        rule variants (sound and complete because the previous fixpoint is
+        a model of the previous inputs, so every genuinely new derivation
+        must involve at least one added tuple).  A stratum that reads a
+        shrunk relation, or negates a changed one, cannot be patched
+        monotonically: its derived relations are reset and the stratum is
+        recomputed from the (settled) lower strata — recompute-from-support
+        scoped to the affected strata, never the whole program.
+        """
+        start = time.monotonic()
+        m = self.manager
+        pending: Dict[str, int] = {
+            name: node for name, node in added.items() if node != FALSE
+        }
+        shrunk: Set[str] = set(dirty)
+        rule_index = {id(rule): i for i, rule in enumerate(self.program.rules)}
+        self.stats.strata = len(self._strata)
+        if self.budget is not None:
+            self._watchdog = Watchdog(self.budget, self.manager)
+            self.manager.set_watchdog(
+                self._watchdog.check, stride=self._watchdog.stride
+            )
+        try:
+            for index, stratum in enumerate(self._strata):
+                if not stratum.rules:
+                    continue
+                self._current_stratum = stratum
+                self._current_stratum_index = index
+                if faults.armed:
+                    faults.fire("solver.stratum")
+                changed = set(pending) | shrunk
+                reads_shrunk = False
+                reads_grown = False
+                negates_changed = False
+                for rule in stratum.rules:
+                    for atom in rule.positive_atoms:
+                        name = atom.relation
+                        if name in stratum.predicates:
+                            continue
+                        if name in shrunk:
+                            reads_shrunk = True
+                        if name in pending:
+                            reads_grown = True
+                    for atom in rule.negative_atoms:
+                        if atom.relation in changed:
+                            negates_changed = True
+                if not (reads_shrunk or reads_grown or negates_changed):
+                    self.last_completed_stratum = index
+                    continue
+                before = {
+                    p: self.relations[p].node for p in stratum.predicates
+                }
+                if reads_shrunk or negates_changed:
+                    # Non-monotone dependency: recompute the stratum from
+                    # the settled lower strata.
+                    for pred in stratum.predicates:
+                        self.relations[pred].clear()
+                    self._run_stratum(stratum, rule_index)
+                else:
+                    self._push_deltas(stratum, rule_index, pending)
+                for pred in stratum.predicates:
+                    node = self.relations[pred].node
+                    grown = m.diff(node, before[pred])
+                    if grown != FALSE:
+                        pending[pred] = m.or_(pending.get(pred, FALSE), grown)
+                    if m.diff(before[pred], node) != FALSE:
+                        shrunk.add(pred)
+                self.last_completed_stratum = index
+        except ReproError as err:
+            self.stats.seconds += time.monotonic() - start
+            self._record_manager_stats()
+            if err.stats is None:
+                err.stats = self.stats
+            if err.completed_strata is None:
+                err.completed_strata = self.last_completed_stratum + 1
+            if err.stratum is None and self._current_stratum is not None:
+                err.stratum = sorted(self._current_stratum.predicates)
+            raise
+        finally:
+            self.manager.clear_watchdog()
+            self._watchdog = None
+            self._current_stratum = None
+            self._current_stratum_index = None
+        self.stats.seconds += time.monotonic() - start
+        self._record_manager_stats()
+        self._solved = True
+        return self.stats
+
+    def _push_deltas(
+        self,
+        stratum: Stratum,
+        rule_index: Dict[int, int],
+        pending: Dict[str, int],
+    ) -> None:
+        """Seed a stratum's semi-naive loop from external deltas.
+
+        Every rule variant whose delta atom is a changed *non-stratum*
+        relation runs once against the pending deltas (other atoms load
+        full relations, which already include the new tuples, so mixed
+        old x new combinations are covered across variants).  The merged
+        contributions become the initial deltas of the ordinary
+        semi-naive loop.
+        """
+        m = self.manager
+        init: Dict[str, int] = {p: FALSE for p in stratum.predicates}
+        for rule in stratum.rules:
+            ridx = rule_index[id(rule)]
+            for atom_pos, atom in enumerate(rule.positive_atoms):
+                name = atom.relation
+                if name in stratum.predicates or name not in pending:
+                    continue
+                plan = self._plans[(ridx, atom_pos)]
+                result = self._apply_plan(plan, pending, defer=True)
+                head = plan.head_relation
+                init[head] = m.or_(init[head], result)
+        deltas: Dict[str, int] = {}
+        progressed = False
+        for pred in stratum.predicates:
+            rel = self.relations[pred]
+            delta = m.diff(init[pred], rel.node)
+            deltas[pred] = delta
+            if delta != FALSE:
+                rel.set_node(m.or_(rel.node, delta))
+                progressed = True
+        if progressed and stratum.recursive_rules:
+            if self.naive:
+                self._solve_stratum_naive(stratum, rule_index)
+            else:
+                # Protect the caller's pending deltas across any GC the
+                # fixpoint loop triggers.
+                keys = list(pending)
+                guard = [pending[k] for k in keys]
+                self._gc_protect = guard
+                try:
+                    self._solve_stratum_seminaive(
+                        stratum, rule_index, seed_deltas=deltas
+                    )
+                finally:
+                    self._gc_protect = None
+                pending.update(zip(keys, guard))
 
     def _record_manager_stats(self) -> None:
         m = self.manager
@@ -419,12 +598,21 @@ class Solver:
         return [rule for _, rule in sorted(enumerate(rules), key=key)]
 
     def _solve_stratum_seminaive(
-        self, stratum: Stratum, rule_index: Dict[int, int]
+        self,
+        stratum: Stratum,
+        rule_index: Dict[int, int],
+        seed_deltas: Optional[Dict[str, int]] = None,
     ) -> None:
         m = self.manager
         deltas: Dict[str, int] = {}
         for pred in stratum.predicates:
-            deltas[pred] = self.relations[pred].node
+            # A fresh solve starts with full relations as deltas; an
+            # incremental continuation (solve_incremental) seeds only the
+            # genuinely new tuples.
+            if seed_deltas is not None:
+                deltas[pred] = seed_deltas.get(pred, FALSE)
+            else:
+                deltas[pred] = self.relations[pred].node
         limit = self._iteration_limit()
         for iteration in range(limit):
             self.stats.iterations += 1
@@ -667,6 +855,8 @@ class Solver:
         roots.extend(node for _, (_, node) in cached)
         if extra_roots:
             roots.extend(extra_roots)
+        if self._gc_protect:
+            roots.extend(self._gc_protect)
         mapping = self.manager.collect_garbage(roots)
         for rel in self.relations.values():
             rel.remap(mapping)
@@ -675,3 +865,5 @@ class Solver:
         }
         if extra_roots:
             extra_roots[:] = [mapping[n] for n in extra_roots]
+        if self._gc_protect:
+            self._gc_protect[:] = [mapping[n] for n in self._gc_protect]

@@ -67,13 +67,19 @@ __all__ = [
     "WorkerKilled",
     "classify_exit",
     "WorkerPool",
+    "atomic_write_text",
+    "checkpoint_lines",
     "load_checkpoint",
+    "load_checkpoint_lines",
     "save_checkpoint",
 ]
 
 _LAZY = {
     "CheckpointMeta": "checkpoint",
+    "atomic_write_text": "atomic",
+    "checkpoint_lines": "checkpoint",
     "load_checkpoint": "checkpoint",
+    "load_checkpoint_lines": "checkpoint",
     "save_checkpoint": "checkpoint",
     "Supervisor": "supervisor",
     "SupervisorConfig": "supervisor",

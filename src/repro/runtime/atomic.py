@@ -1,0 +1,36 @@
+"""Durable atomic file publication.
+
+Checkpoints, ``.ptdb`` databases, and fixpoint bundles all follow the
+same discipline: write to a temp file in the target directory, fsync the
+data, ``os.replace`` into place, then fsync the directory so the rename
+itself is on disk.  Readers never observe a half-written file, and a
+crashed writer's retry resumes from a complete previous version.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> str:
+    """Atomically and durably write ``text`` to ``path``; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    dir_fd = os.open(target.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return str(target)

@@ -35,22 +35,24 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..bdd import BDDError, create_kernel
 from ..bdd.reorder import rebuild_with_levels
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
+from .atomic import atomic_write_text
 from .errors import CheckpointError, InvalidInputError
 from .version import check_tool_version, tool_meta
 
 __all__ = [
     "CheckpointMeta",
     "FORMAT_VERSION",
+    "checkpoint_lines",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_lines",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -94,17 +96,17 @@ def _levels_of(solver) -> Dict[str, List[int]]:
     return {dom.name: list(dom.levels) for dom in solver._pool.values()}
 
 
-def save_checkpoint(
+def checkpoint_lines(
     solver,
-    path: PathLike,
     next_stratum: int = 0,
     extra_meta: Optional[Dict[str, Any]] = None,
-) -> CheckpointMeta:
-    """Atomically snapshot every relation of ``solver`` to ``path``.
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Serialize a solver snapshot as checkpoint-document lines.
 
-    ``next_stratum`` records where a resumed solve should restart (the
-    index of the stratum that was interrupted; strata before it are at
-    fixpoint).  Returns the written :class:`CheckpointMeta`.
+    The returned lines are a complete, self-verifying checkpoint document
+    (magic, meta, digest, payload) — :func:`save_checkpoint` writes them
+    to a file, and the incremental fixpoint bundle embeds several of them
+    as sections of one artifact.  Returns ``(lines, meta)``.
     """
     schema = _schema_of(solver)
     roots = [solver.relations[entry["name"]].node for entry in schema]
@@ -136,27 +138,29 @@ def save_checkpoint(
         "meta " + json.dumps(meta, sort_keys=True, separators=(",", ":")),
         f"sha256 {digest}",
         f"payload {len(payload)}",
-        payload_text,
     ]
-    target = pathlib.Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + ".tmp")
+    lines.extend(payload)
+    return lines, meta
+
+
+def save_checkpoint(
+    solver,
+    path: PathLike,
+    next_stratum: int = 0,
+    extra_meta: Optional[Dict[str, Any]] = None,
+) -> CheckpointMeta:
+    """Atomically snapshot every relation of ``solver`` to ``path``.
+
+    ``next_stratum`` records where a resumed solve should restart (the
+    index of the stratum that was interrupted; strata before it are at
+    fixpoint).  Returns the written :class:`CheckpointMeta`.
+    """
+    lines, meta = checkpoint_lines(solver, next_stratum, extra_meta)
     # Durability, not just atomicity: a crashed worker's retry resumes
-    # from this file, so it must survive power loss.  fsync the data
-    # before the rename makes it visible, and fsync the directory so the
-    # rename itself is on disk.
-    with open(tmp, "w") as fh:
-        fh.write("\n".join(lines) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, target)
-    dir_fd = os.open(target.parent, os.O_RDONLY)
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    # from this file, so it must survive power loss.
+    target = atomic_write_text(path, "\n".join(lines) + "\n")
     return CheckpointMeta(
-        path=str(target),
+        path=target,
         next_stratum=next_stratum,
         order_spec=solver.order_spec,
         meta=meta,
@@ -168,7 +172,10 @@ def _read_header(path: pathlib.Path):
         text = path.read_text()
     except OSError as err:
         raise CheckpointError(f"{path}: cannot read checkpoint: {err}")
-    lines = text.splitlines()
+    return _parse_header(text.splitlines(), str(path))
+
+
+def _parse_header(lines: List[str], path: str):
     if not lines or lines[0].strip() != _MAGIC:
         raise CheckpointError(
             f"{path}:1: not a repro-checkpoint file (expected {_MAGIC!r})"
@@ -227,7 +234,22 @@ def load_checkpoint(solver, path: PathLike) -> CheckpointMeta:
     """
     target = pathlib.Path(path)
     meta, payload = _read_header(target)
+    return _load_parsed(solver, meta, payload, str(target))
 
+
+def load_checkpoint_lines(solver, lines: List[str], name: str) -> CheckpointMeta:
+    """Restore a solver from in-memory checkpoint-document lines.
+
+    ``name`` labels diagnostics (e.g. ``"bundle.fix#cs"`` for a fixpoint
+    bundle section).  Same validation as :func:`load_checkpoint`.
+    """
+    meta, payload = _parse_header(lines, name)
+    return _load_parsed(solver, meta, payload, name)
+
+
+def _load_parsed(
+    solver, meta: Dict[str, Any], payload: List[str], target: str
+) -> CheckpointMeta:
     schema = _schema_of(solver)
     if meta.get("relations") != schema:
         raise CheckpointError(

@@ -24,7 +24,14 @@ CLI entry points: ``repro compile-db``, ``repro serve``,
 ``repro query --db``.
 """
 
-from .database import FORMAT_VERSION, PointsToDatabase, compile_database
+from .database import (
+    FORMAT_VERSION,
+    CompileState,
+    PointsToDatabase,
+    compile_database,
+    compile_database_with_state,
+    package_database,
+)
 from .engine import QUERY_KINDS, QueryEngine, QueryError
 from .metrics import Metrics
 from .protocol import MAX_BATCH, MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError
@@ -56,5 +63,8 @@ __all__ = [
     "ResilientClient",
     "ServeSupervisor",
     "ServerError",
+    "CompileState",
     "compile_database",
+    "compile_database_with_state",
+    "package_database",
 ]

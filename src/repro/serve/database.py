@@ -36,9 +36,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pathlib
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bdd import BDDError, Domain, create_kernel
@@ -46,13 +46,17 @@ from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
 from ..datalog.relation import Attribute, Relation
 from ..ir.facts import Facts, extract_facts
 from ..runtime import InvalidInputError, ResourceBudget, faults
+from ..runtime.atomic import atomic_write_text
 from ..runtime.version import check_tool_version, tool_meta
 
 __all__ = [
     "FORMAT_VERSION",
+    "CompileState",
     "PointsToDatabase",
     "compile_database",
+    "compile_database_with_state",
     "facts_digest",
+    "package_database",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -223,20 +227,7 @@ class PointsToDatabase:
             f"payload {len(payload)}",
             payload_text,
         ]
-        target = pathlib.Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_name(target.name + ".tmp")
-        with open(tmp, "w") as fh:
-            fh.write("\n".join(lines) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, target)
-        dir_fd = os.open(target.parent, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-        self.path = str(target)
+        self.path = atomic_write_text(path, "\n".join(lines) + "\n")
         return node_count
 
     @classmethod
@@ -305,7 +296,11 @@ class PointsToDatabase:
 # excluded from the database identity so that two compilations of the
 # same program — on different machines, different days, or different BDD
 # backends — produce the same ``db_id`` whenever their relations agree.
-_VOLATILE_META = frozenset({"stats", "tool", "backend"})
+# ``provenance`` (how the database was derived: parent db, fact diff) is
+# history, not content: an incremental recompile must produce the *same*
+# db_id as a from-scratch compile on the edited facts — that identity is
+# the differential gate — so it is volatile too.
+_VOLATILE_META = frozenset({"stats", "tool", "backend", "provenance"})
 
 
 def _db_id(meta: Dict[str, Any], payload_digest: str) -> str:
@@ -373,7 +368,162 @@ def _read_envelope(path: pathlib.Path) -> Tuple[Dict[str, Any], List[str], str]:
 # ----------------------------------------------------------------------
 
 
-def compile_database(
+@dataclass
+class CompileState:
+    """Live solver state left over from a compilation.
+
+    ``compile_database`` discards this; the incremental recompiler keeps
+    it to checkpoint all three fixpoints into a ``.ptdb.fix`` bundle so a
+    later edit can warm-start each solve instead of re-deriving it.
+    """
+
+    ci_solver: Any
+    cs_solver: Any
+    escape_solver: Any
+    ie_tuples: List[tuple]
+    cs_c_size: int
+    escape_c_size: int
+    thread_sites: List[Tuple[int, int]]
+    max_paths: int
+
+
+def _facts_meta(facts: Facts, thread_sites: Sequence[Tuple[int, int]]) -> Dict[str, Any]:
+    """Everything beyond ``maps``/``site_method``/``var_reps`` needed to
+    rebuild a solvable fact set from the database alone (no source)."""
+    return {
+        "relations": {
+            name: [list(t) for t in sorted(facts.relations[name])]
+            for name in sorted(facts.relations)
+        },
+        "max_arity": facts.max_arity,
+        "alloc_sites": {
+            str(m): sorted(sites) for m, sites in facts.alloc_sites.items()
+        },
+        "global_site": facts.global_site,
+        "entry_ids": sorted(facts.entry_method_ids()),
+        "thread_sites": [list(t) for t in thread_sites],
+    }
+
+
+def package_database(
+    facts: Facts,
+    cs_solver,
+    ie_tuples: Sequence[tuple],
+    escape_verdicts: Dict[str, List[int]],
+    *,
+    max_paths: int,
+    thread_sites: Sequence[Tuple[int, int]],
+    modref: bool = True,
+    main: str = "Main",
+    source_path: Optional[str] = None,
+    source_sha256: Optional[str] = None,
+    timings: Optional[Dict[str, float]] = None,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> PointsToDatabase:
+    """Package solved state as a :class:`PointsToDatabase`.
+
+    The same packager serves both the from-scratch compile and the
+    incremental recompile: identical inputs (facts, solved ``vPC``/``hP``/
+    mod-ref relations, ``IE``, escape verdicts) yield byte-identical
+    stable meta and therefore the same ``db_id`` — the property the
+    incremental differential gate asserts.  ``source_path`` and
+    ``source_sha256`` are identity-bearing, so derived databases (which
+    have facts but no source file) must leave them unset.
+    """
+    relations: Dict[str, Relation] = {}
+    for name in _BDD_RELATIONS:
+        if name == "vP":
+            projected = cs_solver.relation("vPC").project("variable", "heap")
+            rel = Relation(cs_solver.manager, "vP", projected.attributes)
+            rel.set_node(projected.node)
+            relations["vP"] = rel
+        elif name in cs_solver.relations:
+            relations[name] = cs_solver.relation(name)
+
+    schema = []
+    for name, rel in relations.items():
+        schema.append(
+            {
+                "name": name,
+                "attrs": [
+                    [a.name, a.logical, a.phys.name, a.phys.size,
+                     list(a.phys.levels)]
+                    for a in rel.attributes
+                ],
+                "tuples": rel.count(),
+            }
+        )
+
+    var_index = {v: i for i, v in enumerate(facts.maps["V"])}
+    var_reps = {
+        f"{method}:{var}": var_index[rep]
+        for (method, var), rep in facts._var_reps.items()
+        if rep in var_index
+    }
+
+    program_meta: Dict[str, Any] = {
+        "facts_sha256": facts_digest(facts),
+        "entry": facts.program.entry.qualified,
+        "main": main,
+        "stats": facts.program.stats(),
+    }
+    if source_path is not None:
+        program_meta["path"] = str(source_path)
+    if source_sha256 is not None:
+        program_meta["source_sha256"] = source_sha256
+
+    meta: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "tool": tool_meta(),
+        # Provenance only (volatile, excluded from db_id): which kernel
+        # backend compiled this database.
+        "backend": cs_solver.manager.backend_name,
+        "num_vars": cs_solver.manager.num_vars,
+        "relations": schema,
+        "maps": facts.maps,
+        "facts": _facts_meta(facts, thread_sites),
+        "tuples": {"IE": [list(t) for t in sorted(ie_tuples)]},
+        "escape": {
+            key: sorted(escape_verdicts.get(key, ()))
+            for key in ("escaped", "captured", "sync_needed", "sync_unneeded")
+        },
+        "site_method": {str(i): m for i, m in facts.site_method.items()},
+        "var_reps": var_reps,
+        "program": program_meta,
+        "config": {
+            "algorithm": "algorithm5",
+            "modref": modref,
+            "order_spec": cs_solver.order_spec,
+            "type_filtering": True,
+        },
+        "paths": max_paths,
+        "stats": {
+            "iterations": cs_solver.stats.iterations,
+            "rule_applications": cs_solver.stats.rule_applications,
+            "peak_nodes": cs_solver.manager.peak_nodes,
+            "timings_s": {
+                k: round(v, 4) for k, v in (timings or {}).items()
+            },
+        },
+    }
+    if provenance is not None:
+        meta["provenance"] = provenance
+    # The in-memory db_id must match what a later load computes, so it is
+    # derived the same way: meta + payload digest.
+    payload, _ = dump_bdd_lines(
+        cs_solver.manager, [relations[e["name"]].node for e in schema]
+    )
+    digest = hashlib.sha256("\n".join(payload).encode()).hexdigest()
+    return PointsToDatabase(
+        manager=cs_solver.manager,
+        relations=relations,
+        maps=facts.maps,
+        meta=meta,
+        db_id=_db_id(meta, digest),
+    )
+
+
+def compile_database_with_state(
     program=None,
     facts: Optional[Facts] = None,
     *,
@@ -386,8 +536,9 @@ def compile_database(
     backend: Optional[str] = None,
     optimize: Optional[bool] = None,
     disabled_passes: Optional[Sequence[str]] = None,
-) -> PointsToDatabase:
-    """Solve a program once and package the result as a database.
+    provenance: Optional[Dict[str, Any]] = None,
+) -> Tuple[PointsToDatabase, CompileState]:
+    """Solve a program once; return the database *and* the live solvers.
 
     Runs the Algorithm 3 context-insensitive analysis (for the call graph
     and ``IE``), the Algorithm 5 context-sensitive analysis (with the
@@ -405,6 +556,7 @@ def compile_database(
         ContextSensitiveAnalysis,
         ThreadEscapeAnalysis,
     )
+    from ..analysis.escape import thread_alloc_sites
 
     if facts is None:
         if program is None:
@@ -412,6 +564,13 @@ def compile_database(
         facts = extract_facts(program)
     if budget is not None:
         budget.start()
+
+    # Compute once: for a FactSet rebuilt from a database the hierarchy
+    # is gone, so the sites travel as data instead.
+    thread_sites = getattr(facts, "thread_sites", None)
+    if thread_sites is None:
+        thread_sites = thread_alloc_sites(facts)
+    thread_sites = sorted(tuple(t) for t in thread_sites)
 
     timings: Dict[str, float] = {}
     t0 = time.monotonic()
@@ -457,100 +616,56 @@ def compile_database(
         backend=backend,
         optimize=optimize,
         disabled_passes=disabled_passes,
+        thread_sites=thread_sites,
     ).run()
     timings["escape_s"] = time.monotonic() - t0
-    escaped = sorted(esc.escaped_heaps())
-    captured = sorted(esc.captured_heaps())
-    sync_needed = sorted(esc.needed_sync_vars())
-    sync_unneeded = sorted(esc.unneeded_sync_vars())
-    del esc
-
-    solver = cs.solver
-    relations: Dict[str, Relation] = {}
-    for name in _BDD_RELATIONS:
-        if name == "vP":
-            projected = solver.relation("vPC").project("variable", "heap")
-            rel = Relation(solver.manager, "vP", projected.attributes)
-            rel.set_node(projected.node)
-            relations["vP"] = rel
-        elif name in solver.relations:
-            relations[name] = solver.relation(name)
-
-    schema = []
-    for name, rel in relations.items():
-        schema.append(
-            {
-                "name": name,
-                "attrs": [
-                    [a.name, a.logical, a.phys.name, a.phys.size,
-                     list(a.phys.levels)]
-                    for a in rel.attributes
-                ],
-                "tuples": rel.count(),
-            }
-        )
-
-    var_index = {v: i for i, v in enumerate(facts.maps["V"])}
-    var_reps = {
-        f"{method}:{var}": var_index[rep]
-        for (method, var), rep in facts._var_reps.items()
-        if rep in var_index
+    escape_verdicts = {
+        "escaped": sorted(esc.escaped_heaps()),
+        "captured": sorted(esc.captured_heaps()),
+        "sync_needed": sorted(esc.needed_sync_vars()),
+        "sync_unneeded": sorted(esc.unneeded_sync_vars()),
     }
 
-    program_meta: Dict[str, Any] = {
-        "facts_sha256": facts_digest(facts),
-        "entry": facts.program.entry.qualified,
-        "main": main,
-        "stats": facts.program.stats(),
-    }
-    if source_path is not None:
-        program_meta["path"] = str(source_path)
-    if source_sha256 is not None:
-        program_meta["source_sha256"] = source_sha256
-
-    meta: Dict[str, Any] = {
-        "format_version": FORMAT_VERSION,
-        "tool": tool_meta(),
-        # Provenance only (volatile, excluded from db_id): which kernel
-        # backend compiled this database.
-        "backend": solver.manager.backend_name,
-        "num_vars": solver.manager.num_vars,
-        "relations": schema,
-        "maps": facts.maps,
-        "tuples": {"IE": [list(t) for t in ie_tuples]},
-        "escape": {
-            "escaped": escaped,
-            "captured": captured,
-            "sync_needed": sync_needed,
-            "sync_unneeded": sync_unneeded,
-        },
-        "site_method": {str(i): m for i, m in facts.site_method.items()},
-        "var_reps": var_reps,
-        "program": program_meta,
-        "config": {
-            "algorithm": "algorithm5",
-            "modref": modref,
-            "order_spec": solver.order_spec,
-            "type_filtering": True,
-        },
-        "paths": cs.max_paths(),
-        "stats": {
-            "iterations": solver.stats.iterations,
-            "rule_applications": solver.stats.rule_applications,
-            "peak_nodes": solver.manager.peak_nodes,
-            "timings_s": {k: round(v, 4) for k, v in timings.items()},
-        },
-    }
-    # The in-memory db_id must match what a later load computes, so it is
-    # derived the same way: meta + payload digest.
-    payload, _ = dump_bdd_lines(
-        solver.manager, [relations[e["name"]].node for e in schema]
+    db = package_database(
+        facts,
+        cs.solver,
+        ie_tuples,
+        escape_verdicts,
+        max_paths=cs.max_paths(),
+        thread_sites=thread_sites,
+        modref=modref,
+        main=main,
+        source_path=source_path,
+        source_sha256=source_sha256,
+        timings=timings,
+        provenance=provenance,
     )
-    digest = hashlib.sha256("\n".join(payload).encode()).hexdigest()
-    return PointsToDatabase(
-        manager=solver.manager,
-        relations=relations,
-        maps=facts.maps,
-        meta=meta,
-        db_id=_db_id(meta, digest),
+    state = CompileState(
+        ci_solver=ci.solver,
+        cs_solver=cs.solver,
+        escape_solver=esc.solver,
+        ie_tuples=ie_tuples,
+        cs_c_size=cs.numbering.context_domain_size(),
+        escape_c_size=next(
+            a.phys.size
+            for a in esc.solver.relation("vPT").attributes
+            if a.logical == "C"
+        ),
+        thread_sites=thread_sites,
+        max_paths=cs.max_paths(),
     )
+    return db, state
+
+
+def compile_database(
+    program=None,
+    facts: Optional[Facts] = None,
+    **kwargs,
+) -> PointsToDatabase:
+    """Solve a program once and package the result as a database.
+
+    Thin wrapper over :func:`compile_database_with_state` that drops the
+    live solver state; see there for parameters and semantics.
+    """
+    db, _ = compile_database_with_state(program, facts, **kwargs)
+    return db

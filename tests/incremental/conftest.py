@@ -1,0 +1,79 @@
+"""Shared fixtures: one small program compiled once, with its fixpoint.
+
+Everything here is session-scoped — the incremental tests edit the same
+immutable baseline in different directions, which is exactly the edit
+loop's model (one published database, many candidate diffs).
+"""
+
+import pytest
+
+from repro.incremental import FactSet, write_fixpoint_bundle
+from repro.ir import parse_program
+from repro.serve import compile_database_with_state
+
+# The same shape as the serve-layer fixture program: allocations, a copy
+# chain, a field store through a call, a virtual dispatch, and a
+# cross-thread publication — so every phase (CI, CS, escape) has real
+# work and every editable relation is populated.
+SOURCE = """
+class Worker extends Thread {
+    method run() {
+        private = new Object;
+        shared = Main.channel;
+        sync shared;
+    }
+}
+class Helper {
+    field f : Object;
+    method keep(x : Object) {
+        this.f = x;
+    }
+    method drop(x : Object) {
+        y = x;
+    }
+}
+class Main {
+    static field channel : Object;
+    static method main() {
+        a = new Object;
+        b = a;
+        c = new Helper;
+        h = new Helper;
+        h.keep(a);
+        spare = new Object;
+        Main.channel = a;
+        w = new Worker;
+        w.start();
+        sync a;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def program():
+    return parse_program(SOURCE, include_library=False)
+
+
+@pytest.fixture(scope="session")
+def compiled(program):
+    db, state = compile_database_with_state(program)
+    return db, state
+
+
+@pytest.fixture(scope="session")
+def baseline_db(compiled):
+    return compiled[0]
+
+
+@pytest.fixture(scope="session")
+def bundle_path(compiled, tmp_path_factory):
+    db, state = compiled
+    path = tmp_path_factory.mktemp("fix") / "baseline.ptdb.fix"
+    write_fixpoint_bundle(path, db, state)
+    return path
+
+
+@pytest.fixture(scope="session")
+def factset(baseline_db):
+    return FactSet.from_db_meta(baseline_db.meta, "baseline.ptdb")

@@ -1,0 +1,181 @@
+"""FactDiff parsing, validation, and resolution edge cases.
+
+Every malformed input must fail with a *typed* error rooted at
+``InvalidInputError`` — never a KeyError or a silent mis-apply.
+"""
+
+import json
+
+import pytest
+
+from repro.incremental import (
+    EDITABLE_RELATIONS,
+    BaselineMismatchError,
+    DiffConflictError,
+    FactDiff,
+    FactDiffError,
+)
+from repro.runtime import InvalidInputError
+
+
+class TestParse:
+    def test_minimal_document(self):
+        diff = FactDiff.parse({"add": {"vP0": [[0, 0]]}})
+        assert diff.added == {"vP0": [(0, 0)]}
+        assert diff.is_empty() is False
+        assert diff.size() == 1
+        assert diff.relations() == ["vP0"]
+
+    def test_empty_document_is_empty(self):
+        diff = FactDiff.parse({})
+        assert diff.is_empty() is True
+        assert diff.size() == 0
+
+    def test_not_an_object(self):
+        with pytest.raises(FactDiffError, match="JSON object"):
+            FactDiff.parse([1, 2, 3])
+
+    def test_unsupported_format(self):
+        with pytest.raises(FactDiffError, match="unsupported diff format"):
+            FactDiff.parse({"format": "repro-factdiff 99"})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(FactDiffError, match="unknown diff keys"):
+            FactDiff.parse({"delete": {"vP0": []}})
+
+    def test_unknown_relation(self):
+        with pytest.raises(FactDiffError, match="not editable") as exc:
+            FactDiff.parse({"add": {"vP": [[0, 0]]}})
+        assert isinstance(exc.value, InvalidInputError)
+
+    def test_assign_alias_canonicalizes(self):
+        diff = FactDiff.parse({"add": {"assign": [[1, 2]]}})
+        assert diff.added == {"assign0": [(1, 2)]}
+
+    def test_wrong_arity(self):
+        with pytest.raises(FactDiffError, match="must have 2 elements"):
+            FactDiff.parse({"add": {"vP0": [[0, 0, 0]]}})
+
+    def test_bool_element_rejected(self):
+        with pytest.raises(FactDiffError, match="ordinal or a name"):
+            FactDiff.parse({"add": {"vP0": [[True, 0]]}})
+
+    def test_tuples_must_be_list(self):
+        with pytest.raises(FactDiffError, match="must be a list"):
+            FactDiff.parse({"add": {"vP0": "not-a-list"}})
+
+    def test_bad_baseline_shape(self):
+        with pytest.raises(FactDiffError, match="baseline"):
+            FactDiff.parse({"baseline": {"db_id": 42}})
+        with pytest.raises(FactDiffError, match="unknown baseline keys"):
+            FactDiff.parse({"baseline": {"sha": "ab"}})
+
+    def test_every_editable_relation_parses(self):
+        doc = {
+            "add": {
+                rel: [[0] * len(domains)]
+                for rel, domains in EDITABLE_RELATIONS.items()
+            }
+        }
+        diff = FactDiff.parse(doc)
+        assert sorted(diff.added) == sorted(EDITABLE_RELATIONS)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        bad = tmp_path / "edit.json"
+        bad.write_text("{not json")
+        with pytest.raises(FactDiffError, match="not valid JSON"):
+            FactDiff.load(bad)
+
+    def test_load_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FactDiff.load(tmp_path / "absent.json")
+
+
+class TestDigest:
+    def test_sha256_is_order_insensitive(self):
+        a = FactDiff.parse({"add": {"vP0": [[0, 1], [2, 3]]}})
+        b = FactDiff.parse({"add": {"vP0": [[2, 3], [0, 1]]}})
+        assert a.sha256() == b.sha256()
+
+    def test_sha256_distinguishes_add_from_remove(self):
+        a = FactDiff.parse({"add": {"vP0": [[0, 1]]}})
+        b = FactDiff.parse({"remove": {"vP0": [[0, 1]]}})
+        assert a.sha256() != b.sha256()
+
+
+class TestBaseline:
+    def test_db_id_mismatch(self):
+        diff = FactDiff.parse({"baseline": {"db_id": "a" * 16}})
+        with pytest.raises(BaselineMismatchError, match="does not match"):
+            diff.check_baseline("b" * 16, None)
+
+    def test_facts_digest_mismatch(self):
+        diff = FactDiff.parse({"baseline": {"facts_sha256": "a" * 64}})
+        with pytest.raises(BaselineMismatchError, match="facts digest"):
+            diff.check_baseline("b" * 16, "c" * 64)
+
+    def test_matching_baseline_passes(self):
+        diff = FactDiff.parse(
+            {"baseline": {"db_id": "a" * 16, "facts_sha256": "b" * 64}}
+        )
+        diff.check_baseline("a" * 16, "b" * 64)  # no raise
+
+    def test_no_baseline_always_passes(self):
+        FactDiff.parse({}).check_baseline("whatever", None)
+
+
+class TestResolve:
+    def test_names_resolve_to_ordinals(self, factset):
+        heap = next(h for h in factset.maps["H"] if "Main" in h)
+        diff = FactDiff.parse({"add": {"vP0": [["Main.main:c", heap]]}})
+        resolved = diff.resolve(factset)
+        (pair,) = resolved.added["vP0"]
+        assert pair == (
+            factset.var_id("Main.main", "c"),
+            factset.maps["H"].index(heap),
+        )
+
+    def test_unknown_variable_name(self, factset):
+        diff = FactDiff.parse({"add": {"vP0": [["Main.main:nope", 0]]}})
+        with pytest.raises(FactDiffError, match="no variable"):
+            diff.resolve(factset)
+
+    def test_unknown_domain_value(self, factset):
+        diff = FactDiff.parse({"add": {"vP0": [[0, "new Ghost@Main/9"]]}})
+        with pytest.raises(FactDiffError, match="no element"):
+            diff.resolve(factset)
+
+    def test_ordinal_out_of_range(self, factset):
+        too_big = len(factset.maps["H"])
+        diff = FactDiff.parse({"add": {"vP0": [[0, too_big]]}})
+        with pytest.raises(FactDiffError, match="outside domain H"):
+            diff.resolve(factset)
+
+    def test_add_and_remove_same_tuple_conflicts(self, factset):
+        diff = FactDiff.parse(
+            {"add": {"vP0": [[0, 0]]}, "remove": {"vP0": [[0, 0]]}}
+        )
+        with pytest.raises(DiffConflictError, match="both added and removed"):
+            diff.resolve(factset)
+
+    def test_alias_and_canonical_conflict_detected(self, factset):
+        # The same tuple through both spellings is still one relation.
+        diff = FactDiff.parse(
+            {"add": {"assign": [[0, 1]]}, "remove": {"assign0": [[0, 1]]}}
+        )
+        with pytest.raises(DiffConflictError):
+            diff.resolve(factset)
+
+    def test_roundtrip_through_json(self, factset, tmp_path):
+        doc = {
+            "format": "repro-factdiff 1",
+            "add": {"vP0": [[1, 1]]},
+            "remove": {"store": [[0, 0, 0]]},
+            "comment": "roundtrip",
+        }
+        path = tmp_path / "edit.json"
+        path.write_text(json.dumps(doc))
+        diff = FactDiff.load(path)
+        assert diff.name == str(path)
+        assert diff.added == {"vP0": [(1, 1)]}
+        assert diff.removed == {"store": [(0, 0, 0)]}

@@ -1,0 +1,86 @@
+"""The in-memory checkpoint API (``checkpoint_lines`` /
+``load_checkpoint_lines``) and the shared atomic text writer — the
+primitives the incremental fixpoint bundle is built from."""
+
+import pytest
+
+from repro.datalog import Solver, parse_program
+from repro.runtime import CheckpointError
+from repro.runtime.atomic import atomic_write_text
+from repro.runtime.checkpoint import checkpoint_lines, load_checkpoint_lines
+
+SOURCE = """
+.domains
+N 16
+.relations
+edge (a : N0, b : N1) input
+path (a : N0, b : N1) output
+.rules
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+"""
+
+
+def build():
+    solver = Solver(parse_program(SOURCE))
+    solver.add_tuples("edge", [(0, 1), (1, 2), (2, 3)])
+    return solver
+
+
+class TestCheckpointLines:
+    def test_lines_round_trip_without_a_file(self):
+        first = build()
+        first.solve()
+        lines, meta = checkpoint_lines(first, next_stratum=2)
+        assert meta["next_stratum"] == 2
+        second = build()
+        restored = load_checkpoint_lines(second, lines, "<memory>")
+        assert restored.next_stratum == 2
+        for name in first.relations:
+            assert set(second.relation(name).tuples()) == set(
+                first.relation(name).tuples()
+            )
+
+    def test_lines_equal_saved_file_content(self, tmp_path):
+        from repro.runtime import save_checkpoint
+
+        solver = build()
+        solver.solve()
+        lines, _ = checkpoint_lines(solver)
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(solver, path)
+        assert path.read_text().splitlines() == lines
+
+    def test_corrupt_lines_are_typed(self):
+        solver = build()
+        solver.solve()
+        lines, _ = checkpoint_lines(solver)
+        broken = list(lines)
+        broken[0] = "# not a checkpoint"
+        with pytest.raises(CheckpointError):
+            load_checkpoint_lines(build(), broken, "<memory>")
+
+    def test_truncated_lines_are_typed(self):
+        solver = build()
+        solver.solve()
+        lines, _ = checkpoint_lines(solver)
+        with pytest.raises(CheckpointError):
+            load_checkpoint_lines(build(), lines[: len(lines) // 2], "<memory>")
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.txt"
+        returned = atomic_write_text(target, "hello\n")
+        assert returned == str(target)
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_in_place(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x" * 10_000)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]

@@ -1,0 +1,155 @@
+"""End-to-end edit loop: recompile a fact diff, hot-swap it into a live
+server, and verify in-flight connections never drop.
+
+This is the ISSUE 8 acceptance path: ``repro recompile --db OLD --diff
+EDIT -o NEW --notify HOST:PORT`` makes a running ``repro serve`` answer
+from the new database — same connections, next request, new epoch.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.incremental import FactDiff, recompile_database, write_fixpoint_bundle
+from repro.ir import parse_program
+from repro.serve import PointsToClient, PointsToServer, compile_database_with_state
+
+SOURCE = """
+class Helper {
+    field f : Object;
+    method keep(x : Object) {
+        this.f = x;
+    }
+}
+class Main {
+    static method main() {
+        a = new Object;
+        b = a;
+        c = new Helper;
+        h = new Helper;
+        h.keep(a);
+        spare = new Object;
+        sync a;
+    }
+}
+"""
+
+# One new allocation statement: Main.main:c also points at 'spare'.
+EDIT = {
+    "format": "repro-factdiff 1",
+    "add": {"vP0": [["Main.main:c", "Main.main@5:new Object"]]},
+}
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("incserve")
+    db, state = compile_database_with_state(
+        parse_program(SOURCE, include_library=False)
+    )
+    db_path = tmp / "app.ptdb"
+    db.save(db_path)
+    write_fixpoint_bundle(tmp / "app.ptdb.fix", db, state)
+    return db, db_path
+
+
+@pytest.fixture()
+def server(baseline):
+    db, _ = baseline
+    srv = PointsToServer(db, port=0)
+    srv.start()
+    yield srv
+    srv.shutdown(drain_timeout=2.0)
+
+
+def _count(client, variable="Main.main:c"):
+    return client.query("points-to", {"variable": variable})["count"]
+
+
+class TestRecompileThenReload:
+    def test_inflight_connection_survives_the_swap(
+        self, baseline, server, tmp_path
+    ):
+        db, db_path = baseline
+        new_path = tmp_path / "app2.ptdb"
+        with PointsToClient(*server.address) as client:
+            # The connection exists before the edit...
+            assert _count(client) == 1
+            epoch = client.health()["epoch"]
+
+            res = recompile_database(db, FactDiff.parse(EDIT))
+            assert res.db_id != db.db_id
+            res.db.save(new_path)
+
+            # ...and the same connection carries the reload and the
+            # post-swap queries: nothing is dropped or reconnected.
+            ack = client.reload(path=str(new_path), expect_db_id=res.db_id)
+            assert ack["reloaded"] is True
+            assert ack["db_id"] == res.db_id
+            assert _count(client) == 2
+            assert client.health()["epoch"] == epoch + 1
+
+    def test_queries_during_swap_never_fail(self, baseline, server, tmp_path):
+        db, db_path = baseline
+        res = recompile_database(db, FactDiff.parse(EDIT))
+        new_path = tmp_path / "app2.ptdb"
+        res.db.save(new_path)
+
+        errors = []
+        answers = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                with PointsToClient(*server.address) as client:
+                    while not stop.is_set():
+                        answers.append(_count(client))
+            except Exception as err:  # pragma: no cover - fail the test
+                errors.append(err)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            with PointsToClient(*server.address) as admin:
+                for path, db_id in (
+                    (new_path, res.db_id),
+                    (db_path, db.db_id),
+                    (new_path, res.db_id),
+                ):
+                    admin.reload(path=str(path), expect_db_id=db_id)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not errors
+        # Every answer came from one of the two epochs, none dropped.
+        assert answers and set(answers) <= {1, 2}
+
+    def test_cli_notify_drives_the_swap(self, baseline, server, tmp_path):
+        _, db_path = baseline
+        host, port = server.address
+        edit_path = tmp_path / "edit.json"
+        edit_path.write_text(json.dumps(EDIT))
+        new_path = tmp_path / "app3.ptdb"
+        with PointsToClient(*server.address) as client:
+            before = client.health()
+            rc = cli_main(
+                [
+                    "recompile",
+                    "--db", str(db_path),
+                    "--diff", str(edit_path),
+                    "-o", str(new_path),
+                    "--notify", f"{host}:{port}",
+                ]
+            )
+            assert rc == 0
+            # The pre-existing connection sees the new epoch.
+            after = client.health()
+            assert after["epoch"] == before["epoch"] + 1
+            assert after["db_id"] != before["db_id"]
+            assert _count(client) == 2
+        # The sidecar bundle for the *next* edit was written too.
+        assert (tmp_path / "app3.ptdb.fix").exists()
