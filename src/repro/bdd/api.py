@@ -31,8 +31,13 @@ Built-in backends
     clear-on-overflow, and iterative (explicit-stack) ``apply`` /
     ``exist`` / ``rel_prod`` / ``not_`` / ``ite`` / ``replace`` so deep
     diagrams cannot hit ``RecursionError``.
+``arena``
+    The vectorized backend: the packed flat-arena node representation
+    plus native implementations of the fused superops (a single-pass
+    ``rel_prod_replace`` that renames while the join result is built)
+    and a level-synchronized frontier ``apply`` for wide arenas.
 
-Both backends build *identical* reduced ordered BDDs for the same
+All backends build *identical* reduced ordered BDDs for the same
 variable order, so serialized artifacts (``.ptdb`` databases,
 checkpoints) are bit-identical regardless of which backend produced
 them — see ``repro/bench/differential.py``.
@@ -139,6 +144,7 @@ class BddKernel(ABC):
         "forall",
         "rel_prod",
         "replace",
+        "rel_prod_replace",
     )
 
     def __init_subclass__(cls, **kwargs) -> None:
@@ -281,6 +287,15 @@ class BddKernel(ABC):
     def replace(self, u: int, map_id: int) -> int:
         """Rename variables of ``u`` according to an interned mapping."""
 
+    def rel_prod_replace(
+        self, a: int, b: int, varset_id: int, map_id: int
+    ) -> int:
+        """``replace(rel_prod(a, b, varset), map)`` as one kernel call —
+        the fused superop the plan optimizer emits for a rename whose
+        sole input is a join.  The default composes the two primitives;
+        backends may override with a single-pass implementation."""
+        return self.replace(self.rel_prod(a, b, varset_id), map_id)
+
     # ------------------------------------------------------------------
     # Counting, enumeration, cofactoring
     # ------------------------------------------------------------------
@@ -387,6 +402,7 @@ def _tally_wrap(name: str, fn):
 _REGISTRY: Dict[str, object] = {
     "reference": "repro.bdd.backends.reference:ReferenceBDD",
     "packed": "repro.bdd.backends.packed:PackedBDD",
+    "arena": "repro.bdd.backends.arena:ArenaBDD",
 }
 
 

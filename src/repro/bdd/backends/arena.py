@@ -1,0 +1,939 @@
+"""The vectorized flat-arena BDD backend.
+
+``ArenaBDD`` keeps the packed backend's flat parallel-array node arena
+(``_var``/``_low``/``_high`` plus a packed-integer unique table and one
+unified operation cache — no per-node Python objects anywhere) and adds
+the two execution-layer features the plan optimizer's fused superops
+need:
+
+* a **native ``rel_prod_replace``**: when the interned rename map is
+  order-safe (monotone, no untouched level crossed — the same structural
+  test :meth:`replace` uses to pick its ``mk``-based fast path), the
+  rename is applied *while the join result is being built*: every node
+  the relational product emits is created directly at its renamed level,
+  so the intermediate un-renamed BDD is never constructed and never
+  walked a second time.  Order-unsafe maps and wide arenas fall back to
+  the ``replace(rel_prod(...))`` composition, which is always correct.
+* a **level-synchronized iterative apply** for wide arenas: where the
+  packed backend switches to a generic explicit stack above
+  ``_RECURSION_SAFE_VARS`` levels, this backend expands the operand-pair
+  frontier level by level (all subproblems of one variable level are
+  discovered together) and then resolves the levels bottom-up — no
+  recursion, no per-frame markers, and the working set is grouped by
+  level so cofactor reads stay local to one slice of the arena.
+
+When NumPy is importable the quantifying operations go one step
+further: ``rel_prod``, ``rel_prod_replace``, ``exist``, and ``or_all``
+run as **vectorized level-synchronized sweeps** over a NumPy mirror of
+the node arena.  Instead of one Python frame per operand pair, the whole
+frontier of one variable level is expanded as three array operations
+(gather cofactors, apply the terminal rules, dedupe with ``np.unique``),
+and the bottom-up resolution phase batches node construction per level
+so the Python-loop cost is proportional to the number of *distinct new
+nodes*, not the number of visited pairs.  The mirror is append-only
+between garbage collections, so keeping it synchronized costs one slice
+copy of the freshly created tail.  Without NumPy (or above 512
+variables, where the packed 63-bit unique keys would overflow the int64
+mirror) every operation falls back to the scalar paths below — the
+backend never requires the dependency.
+
+Correctness story: order-safety of a rename map is a *global* property
+(the full level map ``v -> map.get(v, v)`` is strictly monotone), so a
+node emitted at its renamed level during the join recursion can never be
+ordered above a child produced below it — the same argument that makes
+the reference backend's ``_replace_fast`` sound, applied at ``mk`` time.
+Fused results are cached under a dedicated ``(varset, map)`` pair tag so
+they can never collide with plain ``rel_prod`` entries.  The vectorized
+sweeps share the packed cache-key formulas, so scalar and vectorized
+executions populate (and benefit from) the same unified operation cache.
+The backend is proven equivalent to ``reference`` and ``packed`` by the
+differential fingerprint harness (``repro/bench/differential.py``) and
+the truth-table oracle (``tests/properties/test_kernel_oracle.py``).
+
+Watchdog, budget, fault-injection, and cache-cap seams are shared with
+the packed backend: the fused recursion flushes its counters into the
+instance around every sibling-closure call and runs ``_mk_service``
+every ``_watchdog_stride`` fresh nodes, exactly like the packed hot
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..api import FALSE, TRUE, BDDError
+from .packed import (
+    _MASK,
+    _OP_AND,
+    _OP_DIFF,
+    _OP_OR,
+    _RECURSION_SAFE_VARS,
+    _SHIFT,
+    _TAG_EXIST,
+    _TAG_OR,
+    _TAG_RELPROD,
+    PackedBDD,
+)
+
+try:  # optional acceleration — the backend is fully functional without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+__all__ = ["ArenaBDD"]
+
+# Above this many variables the packed unique-table key (var << 54) no
+# longer fits the int64 mirror, so the vectorized sweeps stand down.
+_VEC_MAX_VARS = 512
+
+# Hybrid dispatch thresholds.  Array sweeps pay a fixed per-level cost
+# (a dozen small NumPy calls), so they only win when frontiers are wide:
+# bulk OR-reductions over thousands of tuple minterms qualify, but the
+# rel_prod frontiers of the pointer analyses are deep and narrow (a few
+# dozen pairs per level over ~200 levels), where the compiled scalar
+# closures stay ahead at every operand size we measured.  The sweep
+# entry for rel_prod/exist is therefore an opt-in: set
+# ``REPRO_ARENA_SWEEP=<min-nodes>`` (or ``on`` for the default 1500) to
+# route operations whose operands both reach that node count through
+# the vectorized sweep.  ``or_all`` batching is always on.
+_VEC_MIN_NODES = 1500
+_VEC_MIN_BATCH = 32
+
+
+def _sweep_threshold() -> int:
+    import os
+
+    raw = os.environ.get("REPRO_ARENA_SWEEP", "").strip().lower()
+    if raw in ("", "0", "off", "false"):
+        return 0
+    if raw in ("on", "true", "1"):
+        return _VEC_MIN_NODES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise BDDError(f"REPRO_ARENA_SWEEP={raw!r}: expected an integer or on/off")
+
+
+_VEC_SWEEP_NODES = _sweep_threshold()
+
+# Fused rel_prod_replace cache tag.  Bits 54-56 hold 0b001 with bit 57
+# set (value 9 << 54), which no other key shape produces: plain apply
+# tags keep bits >= 57 clear, ``replace`` sets bit 57 with bits 54-56
+# clear, and ``rel_prod`` tags carry op code 7 in bits 54-56.  The
+# interned (varset, map) pair id sits at bit 58, clear of all of them.
+# Vectorized sweeps do int64 key arithmetic, so they require the full
+# key (tag plus the 54-bit operand pair) to fit in 62 bits; larger
+# tags take the scalar path, whose Python-int keys have no such bound.
+_TAG_RELPRODR = 9 << 54
+_VEC_TAG_LIMIT = 1 << 62
+
+
+class ArenaBDD(PackedBDD):
+    """Flat-arena backend with native fused superops."""
+
+    backend_name = "arena"
+
+    def __init__(self, num_vars: int = 0, cache_limit: Optional[int] = 2_000_000) -> None:
+        super().__init__(num_vars=num_vars, cache_limit=cache_limit)
+        # Interned (varset id, map id) pairs for the fused cache tag.
+        # Varsets and rename maps are interned and immutable, and levels
+        # are stable across GC, so pair ids never need invalidation.
+        self._rr_pairs: Dict[Tuple[int, int], int] = {}
+        # NumPy mirror of the node arena: append-only between GCs, so a
+        # sync copies only the tail created since the last sweep.
+        self._mirror_n = 0
+        self._mv = self._ml = self._mh = None
+
+    def _vec_ready(self) -> bool:
+        return _np is not None and 0 < self.num_vars <= _VEC_MAX_VARS
+
+    def _mirror_sync(self):
+        """Bring the NumPy arena mirror up to date; returns its arrays."""
+        np = _np
+        n = len(self._var)
+        if self._mv is None or self._mv.size < n:
+            cap = max(n, 1024)
+            cap += cap >> 1
+            mv = np.empty(cap, np.int64)
+            ml = np.empty(cap, np.int64)
+            mh = np.empty(cap, np.int64)
+            m = self._mirror_n
+            if m and self._mv is not None:
+                mv[:m] = self._mv[:m]
+                ml[:m] = self._ml[:m]
+                mh[:m] = self._mh[:m]
+            self._mv, self._ml, self._mh = mv, ml, mh
+        m = self._mirror_n
+        if m < n:
+            self._mv[m:n] = self._var[m:n]
+            self._ml[m:n] = self._low[m:n]
+            self._mh[m:n] = self._high[m:n]
+            self._mirror_n = n
+        return self._mv, self._ml, self._mh
+
+    def collect_garbage(self, roots):
+        remap = super().collect_garbage(roots)
+        self._mirror_n = 0  # node ids were rewritten: full resync
+        return remap
+
+    def _reaches(self, u: int, limit: int) -> bool:
+        """True when the BDD rooted at ``u`` has at least ``limit`` nodes.
+
+        Early-exit traversal: the cost is bounded by ``limit`` visits,
+        so using it as a dispatch gate costs O(threshold), not O(size).
+        """
+        if u < 2:
+            return False
+        low = self._low
+        high = self._high
+        seen = {u}
+        add = seen.add
+        stack = [u]
+        pop = stack.pop
+        while stack:
+            n = pop()
+            if len(seen) >= limit:
+                return True
+            c = low[n]
+            if c >= 2 and c not in seen:
+                add(c)
+                stack.append(c)
+            c = high[n]
+            if c >= 2 and c not in seen:
+                add(c)
+                stack.append(c)
+        return False
+
+    # ------------------------------------------------------------------
+    # Vectorized level-synchronized sweeps (NumPy path)
+    # ------------------------------------------------------------------
+
+    def _vec_mk(self, v: int, lo, hi):
+        """Batched node construction at one level.
+
+        ``lo``/``hi`` are int64 arrays of already-canonical children.
+        Deduplicates the requested nodes with ``np.unique`` so the
+        Python unique-table loop runs once per *distinct* node, then
+        flushes the watchdog/fault/cache-cap service exactly like the
+        scalar ``mk`` does every ``_watchdog_stride`` fresh nodes.
+        """
+        np = _np
+        r = np.empty(lo.size, np.int64)
+        eq = lo == hi
+        if eq.any():
+            r[eq] = lo[eq]
+        ne = ~eq
+        if ne.any():
+            ukey = (v << 54) | (lo[ne] << _SHIFT) | hi[ne]
+            uq, inv = np.unique(ukey, return_inverse=True)
+            res = np.empty(uq.size, np.int64)
+            unique = self._unique
+            ug = unique.get
+            var_l, low_l, high_l = self._var, self._low, self._high
+            added = 0
+            for i, k in enumerate(uq.tolist()):
+                h = ug(k)
+                if h is None:
+                    h = len(var_l)
+                    if h > _MASK:
+                        raise BDDError(
+                            f"arena backend exceeds {_MASK} nodes"
+                        )
+                    var_l.append(v)
+                    low_l.append((k >> _SHIFT) & _MASK)
+                    high_l.append(k & _MASK)
+                    unique[k] = h
+                    added += 1
+                res[i] = h
+            r[ne] = res[inv]
+            if added:
+                n = len(var_l)
+                if n > self.peak_nodes:
+                    self.peak_nodes = n
+                self._watchdog_tick += added
+                if self._watchdog_tick >= self._watchdog_stride:
+                    self._watchdog_tick = 0
+                    self._mk_service()
+        return r
+
+    @staticmethod
+    def _vec_lookup(K_all, R_all, known, ck):
+        """Results for scheduled/cache-hit pair keys ``ck``."""
+        np = _np
+        vals = np.empty(ck.size, np.int64)
+        if K_all.size:
+            idx = np.searchsorted(K_all, ck)
+            idx_c = np.minimum(idx, K_all.size - 1)
+            in_k = K_all[idx_c] == ck
+            vals[in_k] = R_all[idx_c[in_k]]
+            rest = ~in_k
+        else:
+            rest = np.ones(ck.size, bool)
+        if rest.any():
+            vals[rest] = np.fromiter(
+                (known[k] for k in ck[rest].tolist()), np.int64
+            )
+        return vals
+
+    def _vec_or_pairs(self, A, B):
+        """Batched ``or_`` over parallel root arrays (one sweep)."""
+        np = _np
+        a = np.minimum(A, B)
+        b = np.maximum(A, B)
+        out = np.where(a == 0, b, np.where(a == 1, 1, a))
+        live = (a >= 2) & (a != b)
+        n_live = int(live.sum())
+        if not n_live:
+            return out
+        if n_live < _VEC_MIN_BATCH:
+            or_ = self.or_
+            out[live] = np.fromiter(
+                (
+                    or_(x, y)
+                    for x, y in zip(a[live].tolist(), b[live].tolist())
+                ),
+                np.int64,
+                n_live,
+            )
+            return out
+        keys = (a[live] << _SHIFT) | b[live]
+        K_all, R_all, known = self._vec_or_sweep(np.unique(keys))
+        out[live] = self._vec_lookup(K_all, R_all, known, keys)
+        return out
+
+    def _vec_or_sweep(self, roots):
+        """Two-phase level-synchronized OR over unique root pair keys.
+
+        Phase 1 walks the levels top-down, expanding every pair of one
+        level at once and bucketing fresh subproblems at the level of
+        their topmost variable (children always sit strictly deeper, so
+        a single descending pass discovers the whole DAG).  Phase 2
+        walks back up: when a level is resolved both cofactor pairs of
+        every key are terminal, globally cached, or already resolved at
+        a deeper level.  Results live in local arrays — a cache trim
+        mid-sweep cannot drop a subresult the upward pass still needs —
+        and are published to the unified cache under the same keys the
+        scalar closures use.
+        """
+        np = _np
+        mv, ml, mh = self._mirror_sync()
+        cache = self._op_cache
+        cg = cache.get
+        nv = self.num_vars
+        buckets: List[List] = [[] for _ in range(nv)]
+        known: Dict[int, int] = {}
+        x = roots >> _SHIFT
+        y = roots & _MASK
+        for lvl in np.unique(np.minimum(mv[x], mv[y])):
+            sel = np.minimum(mv[x], mv[y]) == lvl
+            buckets[int(lvl)].append(roots[sel])
+        pend = []
+        for l in range(nv):
+            if not buckets[l]:
+                continue
+            keys = np.unique(np.concatenate(buckets[l]))
+            buckets[l] = ()
+            kl = keys.tolist()
+            miss = []
+            for i, k in enumerate(kl):
+                h = cg(_TAG_OR | k)
+                if h is None:
+                    miss.append(i)
+                else:
+                    known[k] = h
+            if not miss:
+                continue
+            if len(miss) != len(kl):
+                keys = keys[np.array(miss)]
+            pend.append((l, keys))
+            x = keys >> _SHIFT
+            y = keys & _MASK
+            ex = mv[x] == l
+            ey = mv[y] == l
+            for cx, cy in (
+                (np.where(ex, ml[x], x), np.where(ey, ml[y], y)),
+                (np.where(ex, mh[x], x), np.where(ey, mh[y], y)),
+            ):
+                lo = np.minimum(cx, cy)
+                hi = np.maximum(cx, cy)
+                live = (lo >= 2) & (lo != hi)
+                if not live.any():
+                    continue
+                ck = ((lo << _SHIFT) | hi)[live]
+                cl = np.minimum(mv[lo[live]], mv[hi[live]])
+                for ul in np.unique(cl):
+                    buckets[int(ul)].append(ck[cl == ul])
+        if not pend:
+            return np.empty(0, np.int64), np.empty(0, np.int64), known
+        K_all = np.sort(np.concatenate([k for _, k in pend]))
+        R_all = np.empty(K_all.size, np.int64)
+        for l, keys in reversed(pend):
+            x = keys >> _SHIFT
+            y = keys & _MASK
+            ex = mv[x] == l
+            ey = mv[y] == l
+            branches = []
+            for cx, cy in (
+                (np.where(ex, ml[x], x), np.where(ey, ml[y], y)),
+                (np.where(ex, mh[x], x), np.where(ey, mh[y], y)),
+            ):
+                lo = np.minimum(cx, cy)
+                hi = np.maximum(cx, cy)
+                res = np.where(lo == 0, hi, np.where(lo == 1, 1, lo))
+                live = (lo >= 2) & (lo != hi)
+                if live.any():
+                    ck = ((lo << _SHIFT) | hi)[live]
+                    res[live] = self._vec_lookup(K_all, R_all, known, ck)
+                branches.append(res)
+            self.op_count += keys.size
+            r = self._vec_mk(l, branches[0], branches[1])
+            R_all[np.searchsorted(K_all, keys)] = r
+            cache.update(zip((_TAG_OR | keys).tolist(), r.tolist()))
+        return K_all, R_all, known
+
+    def _vec_relprod(self, a, b, levels, max_level, tag, remap):
+        """Vectorized relational product (optionally fused with rename).
+
+        Same two-phase frontier structure as :meth:`_vec_or_sweep`, with
+        the rel_prod pair rules: a pair containing ``TRUE`` keeps
+        descending through the other operand (that *is* the exist
+        recursion), quantified levels OR their branch results — batched
+        through :meth:`_vec_or_pairs` — and unquantified levels emit a
+        node at ``remap[level]``, which folds an order-safe rename into
+        the same sweep for the fused superop.  ``tag`` is the caller's
+        cache namespace (plain rel_prod or the fused pair tag), applied
+        outside the int64 key space because the fused tag can exceed it.
+        """
+        np = _np
+        mv, ml, mh = self._mirror_sync()
+        cache = self._op_cache
+        cg = cache.get
+        nv = self.num_vars
+        qmask = np.zeros(nv, bool)
+        qmask[list(levels)] = True
+        if remap is None:
+            remap = np.arange(nv, dtype=np.int64)
+        buckets: List[List] = [[] for _ in range(nv)]
+        known: Dict[int, int] = {}
+        root_key = (a << _SHIFT) | b
+        buckets[min(self._var[a], self._var[b])].append(
+            np.array([root_key], np.int64)
+        )
+        pend = []
+        for l in range(nv):
+            if not buckets[l]:
+                continue
+            keys = np.unique(np.concatenate(buckets[l]))
+            buckets[l] = ()
+            kl = keys.tolist()
+            kt = (keys + tag).tolist()
+            miss = []
+            for i, k in enumerate(kt):
+                h = cg(k)
+                if h is None:
+                    miss.append(i)
+                else:
+                    known[kl[i]] = h
+            if not miss:
+                continue
+            if len(miss) != len(kl):
+                keys = keys[np.array(miss)]
+            pend.append((l, keys))
+            x = keys >> _SHIFT
+            y = keys & _MASK
+            ex = mv[x] == l
+            ey = mv[y] == l
+            for cx, cy in (
+                (np.where(ex, ml[x], x), np.where(ey, ml[y], y)),
+                (np.where(ex, mh[x], x), np.where(ey, mh[y], y)),
+            ):
+                lo = np.minimum(cx, cy)
+                hi = np.maximum(cx, cy)
+                # rel_prod terminal rules: 0 annihilates, (1, 1) is 1;
+                # (1, u) stays live — descending it is exist(u).
+                live = (lo != 0) & (hi != 1)
+                if not live.any():
+                    continue
+                ck = ((lo << _SHIFT) | hi)[live]
+                cl = np.minimum(mv[lo[live]], mv[hi[live]])
+                for ul in np.unique(cl):
+                    buckets[int(ul)].append(ck[cl == ul])
+        if not pend:
+            return known[root_key]
+        K_all = np.sort(np.concatenate([k for _, k in pend]))
+        R_all = np.empty(K_all.size, np.int64)
+        for l, keys in reversed(pend):
+            x = keys >> _SHIFT
+            y = keys & _MASK
+            ex = mv[x] == l
+            ey = mv[y] == l
+            branches = []
+            for cx, cy in (
+                (np.where(ex, ml[x], x), np.where(ey, ml[y], y)),
+                (np.where(ex, mh[x], x), np.where(ey, mh[y], y)),
+            ):
+                lo = np.minimum(cx, cy)
+                hi = np.maximum(cx, cy)
+                res = np.where(hi == 1, np.minimum(lo, 1), np.int64(0))
+                live = (lo != 0) & (hi != 1)
+                if live.any():
+                    ck = ((lo << _SHIFT) | hi)[live]
+                    res[live] = self._vec_lookup(K_all, R_all, known, ck)
+                branches.append(res)
+            self.op_count += keys.size
+            if qmask[l]:
+                r = self._vec_or_pairs(branches[0], branches[1])
+            else:
+                r = self._vec_mk(int(remap[l]), branches[0], branches[1])
+            R_all[np.searchsorted(K_all, keys)] = r
+            cache.update(zip((keys + tag).tolist(), r.tolist()))
+        return int(R_all[np.searchsorted(K_all, root_key)])
+
+    # ------------------------------------------------------------------
+    # Vectorized public entries
+    # ------------------------------------------------------------------
+
+    def rel_prod(self, a: int, b: int, varset_id: int) -> int:
+        if not self._vec_ready():
+            return super().rel_prod(a, b, varset_id)
+        info = self._vinfo.get(varset_id) or self._varset_info(varset_id)
+        levels, max_level, tag = info
+        if not levels:
+            return self.and_(a, b)
+        if a == 0 or b == 0:
+            return FALSE
+        if a == 1 and b == 1:
+            return TRUE
+        if a > b:
+            a, b = b, a
+        r = self._op_cache.get(tag | (a << _SHIFT) | b)
+        if r is not None:
+            return r
+        if not (
+            _VEC_SWEEP_NODES
+            and tag < _VEC_TAG_LIMIT
+            and self._reaches(a, _VEC_SWEEP_NODES)
+            and self._reaches(b, _VEC_SWEEP_NODES)
+        ):
+            return super().rel_prod(a, b, varset_id)
+        return self._vec_relprod(a, b, levels, max_level, tag, None)
+
+    def exist(self, u: int, varset_id: int) -> int:
+        if not self._vec_ready():
+            return super().exist(u, varset_id)
+        info = self._vinfo.get(varset_id) or self._varset_info(varset_id)
+        levels, max_level, tag = info
+        if not levels or u < 2 or self._var[u] > max_level:
+            return u
+        key = _TAG_EXIST | (varset_id << _SHIFT) | u
+        r = self._op_cache.get(key)
+        if r is None:
+            if not (
+                _VEC_SWEEP_NODES
+                and tag < _VEC_TAG_LIMIT
+                and self._reaches(u, _VEC_SWEEP_NODES)
+            ):
+                return super().exist(u, varset_id)
+            # exist(u, V) is rel_prod(TRUE, u, V): the (1, u) pair rules
+            # reduce the sweep to quantifying descent through u alone.
+            r = self._vec_relprod(1, u, levels, max_level, tag, None)
+            self._op_cache[key] = r
+        return r
+
+    def or_all(self, nodes) -> int:
+        """Disjunction of many nodes via batched pairwise tree rounds.
+
+        Each round halves the worklist with one multi-root sweep, so
+        bulk loads (fact relations are OR-reduced from thousands of
+        tuple minterms) cost ``log2(n)`` sweeps instead of ``n`` scalar
+        ``or_`` calls.
+        """
+        if not self._vec_ready():
+            return super().or_all(nodes)
+        ns = [n for n in nodes if n != FALSE]
+        np = _np
+        while len(ns) >= _VEC_MIN_BATCH * 2:
+            arr = np.asarray(ns, np.int64)
+            half = arr.size // 2
+            res = self._vec_or_pairs(arr[0 : 2 * half : 2], arr[1 : 2 * half : 2])
+            if (res == 1).any():
+                return TRUE
+            ns = res.tolist()
+            if arr.size % 2:
+                ns.append(int(arr[-1]))
+        return super().or_all(ns)
+
+    # ------------------------------------------------------------------
+    # Fused rel_prod + replace
+    # ------------------------------------------------------------------
+
+    def rel_prod_replace(self, a: int, b: int, varset_id: int, map_id: int) -> int:
+        mapping = self._replace_maps[map_id]
+        if not mapping:
+            return self.rel_prod(a, b, varset_id)
+        info = self._vinfo.get(varset_id) or self._varset_info(varset_id)
+        levels, max_level, _tag = info
+        if not levels:
+            return self.replace(self.and_(a, b), map_id)
+        if (
+            self._vec_ready()
+            and self._replace_map_safe[map_id]
+            and a >= 2
+            and b >= 2
+        ):
+            if a > b:
+                a, b = b, a
+            pair = (varset_id, map_id)
+            pid = self._rr_pairs.get(pair)
+            if pid is None:
+                pid = self._rr_pairs[pair] = len(self._rr_pairs)
+            tag = (pid << 58) | _TAG_RELPRODR
+            r = self._op_cache.get(tag + ((a << _SHIFT) | b))
+            if r is not None:
+                return r
+            if (
+                _VEC_SWEEP_NODES
+                and tag < _VEC_TAG_LIMIT
+                and self._reaches(a, _VEC_SWEEP_NODES)
+                and self._reaches(b, _VEC_SWEEP_NODES)
+            ):
+                remap = _np.arange(self.num_vars, dtype=_np.int64)
+                for s, t in mapping.items():
+                    remap[s] = t
+                return self._vec_relprod(a, b, levels, max_level, tag, remap)
+            # Small operands: the compiled scalar fused closure wins.
+        if (
+            not self._replace_map_safe[map_id]
+            or self.num_vars > _RECURSION_SAFE_VARS
+        ):
+            # Order-correcting renames need the ite rebuild; wide arenas
+            # need the depth-safe loops.  Compose the primitives.
+            return self.replace(self.rel_prod(a, b, varset_id), map_id)
+        if a == 0 or b == 0:
+            return FALSE
+        if a == 1 and b == 1:
+            return TRUE
+        if a == 1:
+            return self.replace(
+                self._exist(b, varset_id, levels, max_level), map_id
+            )
+        if b == 1:
+            return self.replace(
+                self._exist(a, varset_id, levels, max_level), map_id
+            )
+        if a > b:  # the underlying AND is commutative
+            a, b = b, a
+        pair = (varset_id, map_id)
+        pid = self._rr_pairs.get(pair)
+        if pid is None:
+            pid = self._rr_pairs[pair] = len(self._rr_pairs)
+        tag = (pid << 58) | _TAG_RELPRODR
+        r = self._op_cache.get(tag | (a << _SHIFT) | b)
+        if r is not None:
+            return r
+        fn = self._hot.get(("rr", varset_id, map_id))
+        if fn is None:
+            fn = self._hot[("rr", varset_id, map_id)] = self._make_relprod_replace(
+                varset_id, map_id, levels, max_level, tag
+            )
+        return fn(a, b)
+
+    def _make_relprod_replace(
+        self,
+        vid: int,
+        mid: int,
+        levels: frozenset,
+        max_level: int,
+        tag: int,
+    ):
+        """Compile the fused closure for one (varset, rename map) pair.
+
+        Identical shape to the packed backend's ``_make_relprod`` except
+        at the emission point: a node the join would create at level
+        ``v`` is created at ``mapping.get(v, v)`` instead, and the two
+        early-exit paths that leave the fused recursion (the pure
+        conjunction below ``max_level``, the one-operand ``exist``
+        shortcut) rename their result through the ``mk``-based replace
+        before caching it under the fused key.
+        """
+        mapping = self._replace_maps[mid]
+        quant = self._quant(vid, levels, max_level)
+        get_nv = mapping.get
+        num_vars = self.num_vars
+        var = self._var
+        low = self._low
+        high = self._high
+        unique = self._unique
+        unique_get = unique.get
+        cache = self._op_cache
+        cache_get = cache.get
+        or_entry = self._hot.get(_OP_OR)
+        if or_entry is None:
+            or_entry = self._hot[_OP_OR] = self._make_apply(_OP_OR)
+        and_entry = self._hot.get(_OP_AND)
+        if and_entry is None:
+            and_entry = self._hot[_OP_AND] = self._make_apply(_OP_AND)
+        efn = self._hot.get(("e", vid))
+        if efn is None:
+            efn = self._hot[("e", vid)] = self._make_exist(vid, levels, max_level)
+        replace_fast = self._replace_fast
+        ops = 0
+        tick = 0
+        stride = self._watchdog_stride
+
+        def rec(a: int, b: int, key: int) -> int:
+            nonlocal ops, tick
+            ops += 1
+            va = var[a]
+            vb = var[b]
+            if va < vb:
+                v = va
+                a0, a1, b0, b1 = low[a], high[a], b, b
+            elif vb < va:
+                v = vb
+                a0, a1, b0, b1 = a, a, low[b], high[b]
+            else:
+                v = va
+                a0, a1, b0, b1 = low[a], high[a], low[b], high[b]
+            if v > max_level:
+                # No quantified variable below this point: the rest is a
+                # pure conjunction, renamed on the way out.
+                self._watchdog_tick = tick
+                self.op_count += ops
+                ops = 0
+                if a == b:
+                    base = a
+                else:
+                    akey = (a << 27) | b
+                    base = cache_get(akey)
+                    if base is None:
+                        base = and_entry(a, b)
+                r = replace_fast(base, mid, mapping) if base >= 2 else base
+                tick = self._watchdog_tick
+                cache[key] = r
+                return r
+            x = a0
+            y = b0
+            if x == 0 or y == 0:
+                lo = 0
+            elif x == 1 or y == 1:
+                if x == 1 and y == 1:
+                    lo = 1
+                else:
+                    self._watchdog_tick = tick
+                    self.op_count += ops
+                    ops = 0
+                    lo = efn(y if x == 1 else x)
+                    if lo >= 2:
+                        lo = replace_fast(lo, mid, mapping)
+                    tick = self._watchdog_tick
+            else:
+                if x > y:
+                    x, y = y, x
+                ckey = tag | (x << 27) | y
+                lo = cache_get(ckey)
+                if lo is None:
+                    lo = rec(x, y, ckey)
+            x = a1
+            y = b1
+            if x == 0 or y == 0:
+                hi = 0
+            elif x == 1 or y == 1:
+                if x == 1 and y == 1:
+                    hi = 1
+                else:
+                    self._watchdog_tick = tick
+                    self.op_count += ops
+                    ops = 0
+                    hi = efn(y if x == 1 else x)
+                    if hi >= 2:
+                        hi = replace_fast(hi, mid, mapping)
+                    tick = self._watchdog_tick
+            else:
+                if x > y:
+                    x, y = y, x
+                ckey = tag | (x << 27) | y
+                hi = cache_get(ckey)
+                if hi is None:
+                    hi = rec(x, y, ckey)
+            if quant[v]:
+                # Branch values are already renamed; OR commutes with an
+                # injective rename, so combining them directly is exact.
+                if lo == hi or hi == 0:
+                    r = lo
+                elif lo == 0:
+                    r = hi
+                elif lo == 1 or hi == 1:
+                    r = 1
+                else:
+                    if lo > hi:
+                        lo, hi = hi, lo
+                    okey = _TAG_OR | (lo << 27) | hi
+                    r = cache_get(okey)
+                    if r is None:
+                        self._watchdog_tick = tick
+                        self.op_count += ops
+                        ops = 0
+                        r = or_entry(lo, hi)
+                        tick = self._watchdog_tick
+            elif lo == hi:
+                r = lo
+            else:
+                nv = get_nv(v, v)
+                if not 0 <= nv < num_vars:
+                    raise BDDError(
+                        f"variable level {nv} out of range 0..{num_vars - 1}"
+                    )
+                ukey = (nv << 54) | (lo << 27) | hi
+                r = unique_get(ukey)
+                if r is None:
+                    r = len(var)
+                    if r > _MASK:
+                        raise BDDError(f"arena backend exceeds {_MASK} nodes")
+                    var.append(nv)
+                    low.append(lo)
+                    high.append(hi)
+                    unique[ukey] = r
+                    tick += 1
+                    if tick >= stride:
+                        tick = 0
+                        self._watchdog_tick = 0
+                        self.op_count += ops
+                        ops = 0
+                        self._mk_service()
+            cache[key] = r
+            return r
+
+        def entry(a: int, b: int) -> int:
+            # Contract: operands internal, a <= b, cache missed.
+            nonlocal ops, tick
+            ops = 0
+            tick = self._watchdog_tick
+            try:
+                return rec(a, b, tag | (a << 27) | b)
+            finally:
+                self.op_count += ops
+                self._watchdog_tick = tick
+                n = len(var)
+                if n > self.peak_nodes:
+                    self.peak_nodes = n
+
+        return entry
+
+    # ------------------------------------------------------------------
+    # Level-synchronized apply (wide arenas)
+    # ------------------------------------------------------------------
+
+    def _apply_loop(self, op: int, a: int, b: int) -> int:
+        """Frontier-sweep apply: expand the operand-pair DAG level by
+        level, then resolve the levels bottom-up.
+
+        Phase 1 discovers, for each variable level, every distinct
+        operand pair the operation needs at that level (children always
+        sit at strictly greater levels, so one descending sweep finds
+        them all).  Phase 2 walks the levels back up; by the time a pair
+        is resolved both its cofactor pairs are either terminal-shortcut
+        cases or already resolved.  Results are kept in a local ``done``
+        map as well as the shared cache, so a cache trim mid-operation
+        cannot drop a subresult the upward sweep still needs.
+        """
+        var = self._var
+        low = self._low
+        high = self._high
+        cache = self._op_cache
+        tag = op << 54
+        is_and = op == _OP_AND
+        is_or = op == _OP_OR
+        is_diff = op == _OP_DIFF
+        done: Dict[int, int] = {}
+
+        def shortcut(x: int, y: int):
+            """(result, key): terminal-rule result, or the canonical
+            cache key of the subproblem when one must be solved."""
+            if is_and:
+                if x > y:
+                    x, y = y, x
+                if x < 2:
+                    return (y if x else 0), -1
+                if x == y:
+                    return x, -1
+                return None, (x << _SHIFT) | y
+            if is_or:
+                if x > y:
+                    x, y = y, x
+                if y == 1:
+                    return 1, -1
+                if x < 2:
+                    return (y if x == 0 else 1), -1
+                if x == y:
+                    return x, -1
+                return None, tag | (x << _SHIFT) | y
+            if is_diff:
+                if x == 0 or y == 1 or x == y:
+                    return 0, -1
+                if y == 0:
+                    return x, -1
+                return None, tag | (x << _SHIFT) | y
+            # xor
+            if x > y:
+                x, y = y, x
+            if x == 0:
+                return y, -1
+            if x == y:
+                return 0, -1
+            return None, tag | (x << _SHIFT) | y
+
+        root, root_key = shortcut(a, b)
+        if root is not None:
+            return root
+        hit = cache.get(root_key)
+        if hit is not None:
+            return hit
+        buckets: List[List[int]] = [[] for _ in range(self.num_vars)]
+        pending = {root_key}
+        buckets[min(var[a], var[b])].append(root_key)
+
+        def cofactors(key: int):
+            x = (key >> _SHIFT) & _MASK
+            y = key & _MASK
+            vx = var[x]
+            vy = var[y]
+            if vx < vy:
+                return vx, low[x], high[x], y, y
+            if vy < vx:
+                return vy, x, x, low[y], high[y]
+            return vx, low[x], high[x], low[y], high[y]
+
+        # Phase 1: top-down frontier expansion.
+        for lvl in range(self.num_vars):
+            for key in buckets[lvl]:
+                _v, x0, x1, y0, y1 = cofactors(key)
+                for cx, cy in ((x0, y0), (x1, y1)):
+                    r, ckey = shortcut(cx, cy)
+                    if r is not None or ckey in pending or ckey in done:
+                        continue
+                    r = cache.get(ckey)
+                    if r is not None:
+                        done[ckey] = r
+                        continue
+                    pending.add(ckey)
+                    cx = (ckey >> _SHIFT) & _MASK
+                    cy = ckey & _MASK
+                    buckets[min(var[cx], var[cy])].append(ckey)
+
+        # Phase 2: bottom-up resolution.
+        mk = self.mk
+        for lvl in range(self.num_vars - 1, -1, -1):
+            for key in buckets[lvl]:
+                v, x0, x1, y0, y1 = cofactors(key)
+                self.op_count += 1
+                lo, ckey = shortcut(x0, y0)
+                if lo is None:
+                    lo = done[ckey]
+                hi, ckey = shortcut(x1, y1)
+                if hi is None:
+                    hi = done[ckey]
+                r = lo if lo == hi else mk(v, lo, hi)
+                done[key] = r
+                cache[key] = r
+        return done[root_key]

@@ -290,12 +290,20 @@ class ReferenceBDD(BddKernel):
         return result
 
     def or_all(self, nodes: Iterable[int]) -> int:
-        result = FALSE
-        for n in nodes:
-            result = self.or_(result, n)
-            if result == TRUE:
+        # Balanced tree: pairing similar-sized operands keeps the
+        # intermediate diagrams (and apply-cache churn) small compared
+        # to a left fold over a growing accumulator.
+        ns = [n for n in nodes if n != FALSE]
+        while len(ns) > 1:
+            if TRUE in ns:
                 return TRUE
-        return result
+            merged = [
+                self.or_(ns[i], ns[i + 1]) for i in range(0, len(ns) - 1, 2)
+            ]
+            if len(ns) % 2:
+                merged.append(ns[-1])
+            ns = merged
+        return ns[0] if ns else FALSE
 
     def not_(self, a: int) -> int:
         if a == FALSE:

@@ -51,15 +51,19 @@ __all__ = [
     "main",
 ]
 
-DEFAULT_BACKENDS = ("reference", "packed")
+DEFAULT_BACKENDS = ("reference", "packed", "arena")
 
-#: Default comparison matrix: both backends crossed with the plan
-#: optimizer on and off.  All four must be bit-identical.
+#: Default comparison matrix: all three backends crossed with the plan
+#: optimizer on and off.  All six must be bit-identical — the optimized
+#: configs additionally exercise the fused superops (``rel_prod_replace``
+#: / ``and_exist``), which the arena backend executes natively.
 DEFAULT_CONFIGS = (
     "reference+opt",
     "reference+noopt",
     "packed+opt",
     "packed+noopt",
+    "arena+opt",
+    "arena+noopt",
 )
 
 
@@ -197,17 +201,41 @@ def differential_entry(
     }
     base = _strip_volatile(fps[configs[0]])
     mismatches: List[str] = []
+    detail: Dict[str, Any] = {}
     for cfg in configs[1:]:
         other = _strip_volatile(fps[cfg])
         for key in sorted(set(base) | set(other)):
             if base.get(key) != other.get(key):
                 mismatches.append(f"{cfg}:{key}")
-    return {
+                # Pin the divergence down to the relation and field so
+                # the artifact alone identifies the failing kernel path.
+                detail[f"{cfg}:{key}"] = _divergence_detail(
+                    base.get(key), other.get(key)
+                )
+    record = {
         "name": name,
         "backends": fps,
         "identical": not mismatches,
         "mismatches": mismatches,
     }
+    if detail:
+        record["divergence_detail"] = detail
+    return record
+
+
+def _divergence_detail(base: Any, other: Any) -> Any:
+    """The smallest differing sub-structure of two fingerprint values.
+
+    For per-algorithm relation maps this descends to the relation and
+    then the field (``count`` / ``nodes`` / ``digest``) that diverged,
+    reporting baseline vs. got side by side."""
+    if isinstance(base, dict) and isinstance(other, dict):
+        out = {}
+        for key in sorted(set(base) | set(other)):
+            if base.get(key) != other.get(key):
+                out[key] = _divergence_detail(base.get(key), other.get(key))
+        return out
+    return {"baseline": base, "got": other}
 
 
 def run_differential(

@@ -33,7 +33,7 @@ from ..bdd.api import BddKernel, create_kernel
 
 __all__ = ["bench_ops", "bench_solves", "run_kernel_bench", "main"]
 
-DEFAULT_BACKENDS = ("reference", "packed")
+DEFAULT_BACKENDS = ("reference", "packed", "arena")
 
 # Synthetic workload shape: k-bit state space, R(x, x') interleaved.
 _BITS = 12
@@ -108,6 +108,9 @@ def bench_ops(
             "exist": lambda: m.exist(R, vs),
             "rel_prod": lambda: m.rel_prod(S, R, vs),
             "replace": lambda: m.replace(m.rel_prod(S, R, vs), mp),
+            # The fused superop the optimizer emits: one entry instead
+            # of the rel_prod + replace pair above (same result).
+            "rel_prod_replace": lambda: m.rel_prod_replace(S, R, vs, mp),
             "sat_count": lambda: m.sat_count(R, x + xp),
         }
         for op, fn in ops.items():
@@ -146,26 +149,102 @@ def bench_ops(
     return out
 
 
+def _parse_solve_config(config: str):
+    """``backend[+nofuse|+noopt]`` -> (backend, optimize, disabled)."""
+    backend, _, suffix = config.partition("+")
+    if suffix == "nofuse":
+        return backend, None, ["fuse"]
+    if suffix == "noopt":
+        return backend, False, None
+    if suffix in ("", "opt"):
+        return backend, None, None
+    raise ValueError(
+        f"bad solve config {config!r}: expected backend, backend+nofuse "
+        f"or backend+noopt"
+    )
+
+
 def bench_solves(
-    backend: str, entries: Sequence[str]
+    config: str, entries: Sequence[str]
 ) -> Dict[str, Dict[str, Any]]:
-    """Whole-program Algorithm 5 wall clock per corpus entry."""
+    """Whole-program Algorithm 5 wall clock per corpus entry, plus the
+    structural fingerprint of the solved relations: a cell only counts
+    if every config under comparison produced the identical result."""
+    import hashlib
+
     from ..analysis import ContextSensitiveAnalysis
+    from ..bdd.serialize import dump_bdd_lines
     from ..ir.facts import extract_facts
     from .corpus import corpus_entry
 
+    backend, optimize, disabled = _parse_solve_config(config)
     out: Dict[str, Dict[str, Any]] = {}
     for name in entries:
         facts = extract_facts(corpus_entry(name).build())
         t0 = time.monotonic()
-        result = ContextSensitiveAnalysis(facts=facts, backend=backend).run()
+        result = ContextSensitiveAnalysis(
+            facts=facts, backend=backend, optimize=optimize,
+            disabled_passes=disabled,
+        ).run()
+        seconds = round(time.monotonic() - t0, 3)
+        solver = result.solver
+        lines = []
+        for rel in ("vPC", "hP"):
+            chunk, _ = dump_bdd_lines(
+                solver.manager, [solver.relation(rel).node]
+            )
+            lines.extend(chunk)
         out[name] = {
-            "seconds": round(time.monotonic() - t0, 3),
+            "seconds": seconds,
             "peak_nodes": result.peak_nodes,
             "vPC": result.relation("vPC").count(),
+            "fingerprint": hashlib.sha256(
+                "\n".join(lines).encode()
+            ).hexdigest()[:16],
         }
         del result
     return out
+
+
+def _bench_solves_isolated(
+    config: str, entries: Sequence[str], repeats: int
+) -> Dict[str, Dict[str, Any]]:
+    """Run ``bench_solves`` in fresh subprocesses, keeping the fastest
+    repeat per entry.  In-process sequential solves pollute each other
+    (allocator state, cache residue from earlier configs), so every
+    timing comes from a process that has done nothing else."""
+    import json
+    import subprocess
+    import sys
+
+    code = (
+        "import json, sys\n"
+        "from repro.bench.kernel_bench import bench_solves\n"
+        "print(json.dumps(bench_solves(sys.argv[1], sys.argv[2].split(','))))\n"
+    )
+    best: Dict[str, Dict[str, Any]] = {}
+    for _ in range(max(1, repeats)):
+        proc = subprocess.run(
+            [sys.executable, "-c", code, config, ",".join(entries)],
+            capture_output=True, text=True,
+        )
+        if proc.returncode:
+            raise RuntimeError(
+                f"isolated solve {config!r} failed:\n{proc.stderr[-2000:]}"
+            )
+        run = json.loads(proc.stdout.strip().splitlines()[-1])
+        for name, cell in run.items():
+            prev = best.get(name)
+            if prev is None:
+                best[name] = cell
+            elif cell["fingerprint"] != prev["fingerprint"]:
+                raise RuntimeError(
+                    f"solve {config!r} is nondeterministic on {name!r}: "
+                    f"{cell['fingerprint']} != {prev['fingerprint']}"
+                )
+            elif cell["seconds"] < prev["seconds"]:
+                best[name] = cell
+    return best
 
 
 def _ratios(by_backend: Dict[str, float], base: str) -> Dict[str, float]:
@@ -184,6 +263,7 @@ def run_kernel_bench(
     entries: Sequence[str] = ("jetty", "gruntspud"),
     cold_repeat: int = 60,
     warm_budget_s: float = 0.35,
+    solve_repeats: int = 2,
     verbose: bool = True,
 ) -> Dict[str, Any]:
     base = backends[0]
@@ -206,18 +286,42 @@ def run_kernel_bench(
             )
             micro[op][regime] = cell
 
+    # Whole-solve rows compare the backends under the default (fused)
+    # plans against the baseline backend with fusion disabled — the
+    # pre-superop execution model.  Each config runs in fresh isolated
+    # subprocesses (min of ``solve_repeats``).  Every cell is gated on
+    # fingerprint equality: a config that produced a structurally
+    # different result would make its timing meaningless, so it fails
+    # the run instead.
+    solve_base = f"{base}+nofuse"
+    solve_configs = [solve_base] + list(backends)
     solves: Dict[str, Any] = {}
     raw_solves = {}
-    for be in backends:
+    for cfg in solve_configs:
         if verbose:
-            print(f"solve: {be} {list(entries)} ...", flush=True)
-        raw_solves[be] = bench_solves(be, entries)
+            print(f"solve: {cfg} {list(entries)} x{solve_repeats} ...",
+                  flush=True)
+        raw_solves[cfg] = _bench_solves_isolated(cfg, entries, solve_repeats)
     for name in entries:
-        cell: Dict[str, Any] = {
-            be: raw_solves[be][name] for be in backends
+        prints = {
+            cfg: raw_solves[cfg][name]["fingerprint"]
+            for cfg in solve_configs
         }
+        if len(set(prints.values())) != 1:
+            raise RuntimeError(
+                f"solve fingerprints diverged on {name!r}: {prints} — "
+                f"timings withheld (fix the kernel, then re-run)"
+            )
+        cell: Dict[str, Any] = {
+            cfg: raw_solves[cfg][name] for cfg in solve_configs
+        }
+        cell["fingerprints_identical"] = True
         cell["speedup"] = _ratios(
-            {be: raw_solves[be][name]["seconds"] for be in backends}, base
+            {
+                cfg: raw_solves[cfg][name]["seconds"]
+                for cfg in solve_configs
+            },
+            solve_base,
         )
         solves[name] = cell
 
@@ -230,11 +334,15 @@ def run_kernel_bench(
         "config": {
             "backends": list(backends),
             "baseline": base,
+            "solve_baseline": solve_base,
+            "solve_configs": solve_configs,
             "bits": _BITS,
             "edges": _EDGES,
             "seeds": list(_SEEDS),
             "cold_repeat": cold_repeat,
             "warm_budget_s": warm_budget_s,
+            "solve_repeats": solve_repeats,
+            "solve_isolation": "fresh subprocess per repeat, min kept",
             "microbench_unit": "microseconds per call",
         },
         "microbench": micro,
@@ -260,12 +368,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--smoke", action="store_true",
         help="tiny repeat counts and the smallest corpus entry (CI)",
     )
+    parser.add_argument(
+        "--solve-repeats", type=int, default=2, metavar="N",
+        help="isolated subprocess runs per solve config, min kept "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     entries = [n.strip() for n in args.entries.split(",") if n.strip()]
-    kwargs: Dict[str, Any] = {}
+    kwargs: Dict[str, Any] = {"solve_repeats": args.solve_repeats}
     if args.smoke:
-        kwargs = {"cold_repeat": 3, "warm_budget_s": 0.02}
+        kwargs = {"cold_repeat": 3, "warm_budget_s": 0.02, "solve_repeats": 1}
         entries = ["freetts"]
     data = run_kernel_bench(backends=backends, entries=entries, **kwargs)
     out = pathlib.Path(args.out)

@@ -98,6 +98,62 @@ def _bench_warm_latency(
     }
 
 
+def _bench_batch(
+    loaded: PointsToDatabase, count: int = 64
+) -> Dict[str, Any]:
+    """Batched vs. scalar point queries through the in-process engine.
+
+    The same ``points-to`` lookups are answered two ways on separate
+    engines: one ``query`` call per variable (N BDD selects) versus a
+    single ``query_batch`` (one joint select, split per variable).
+    Cold measures the evaluation path; warm measures the cache path —
+    batches fill the same scalar result cache, so both converge.  The
+    cell is gated on the two paths returning identical results.
+    """
+    specs = sorted(loaded.var_reps)[:count]
+    subs = [
+        {"kind": "points-to", "args": {"variable": spec}} for spec in specs
+    ]
+
+    scalar_engine = QueryEngine(loaded, cache_size=4096)
+    t0 = time.perf_counter()
+    scalar_results = [
+        scalar_engine.query(s["kind"], dict(s["args"])) for s in subs
+    ]
+    scalar_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s in subs:
+        scalar_engine.query(s["kind"], dict(s["args"]))
+    scalar_warm = time.perf_counter() - t0
+
+    batch_engine = QueryEngine(loaded, cache_size=4096)
+    t0 = time.perf_counter()
+    batch_results = batch_engine.query_batch([dict(s) for s in subs])
+    batch_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_engine.query_batch([dict(s) for s in subs])
+    batch_warm = time.perf_counter() - t0
+
+    if batch_results != scalar_results:
+        raise RuntimeError(
+            "batched and scalar answers diverged — timings withheld"
+        )
+    return {
+        "queries": len(subs),
+        "scalar_cold_s": round(scalar_cold, 6),
+        "batch_cold_s": round(batch_cold, 6),
+        "scalar_warm_s": round(scalar_warm, 6),
+        "batch_warm_s": round(batch_warm, 6),
+        "speedup_batch_vs_scalar_cold": round(
+            scalar_cold / batch_cold, 2
+        ) if batch_cold > 0 else float("inf"),
+        "speedup_batch_vs_scalar_warm": round(
+            scalar_warm / batch_warm, 2
+        ) if batch_warm > 0 else float("inf"),
+        "results_identical": True,
+    }
+
+
 class _ServerProcess:
     """A ``repro serve`` subprocess on an ephemeral port.
 
@@ -287,6 +343,7 @@ def bench_entry(
     queries = _sample_queries(loaded)
     engine = QueryEngine(loaded, cache_size=4096)
     warm = _bench_warm_latency(engine, queries, _WARM_QUERIES)
+    batch = _bench_batch(loaded)
     # ``repro query`` without --db re-solves the program per question;
     # the compile measurement above is exactly that solve.
     speedup = solve_s / warm["p50_s"] if warm["p50_s"] > 0 else float("inf")
@@ -331,6 +388,7 @@ def bench_entry(
         "solve_baseline_s": round(solve_s, 4),
         "warm_latency": {k: round(v, 7) for k, v in warm.items()},
         "speedup_warm_vs_resolve": round(speedup, 1),
+        "batch": batch,
         "think_s": think,
         "throughput": throughput,
         "capacity": capacity,
@@ -360,7 +418,8 @@ def run_serve_bench(
             f"{r['cold_load_s'] * 1e3:.1f}ms, warm p50 "
             f"{r['warm_latency']['p50_s'] * 1e6:.0f}us "
             f"({r['speedup_warm_vs_resolve']:.0f}x), scaling "
-            f"{r['scaling_max_vs_min_threads']:.2f}x",
+            f"{r['scaling_max_vs_min_threads']:.2f}x, batch "
+            f"{r['batch']['speedup_batch_vs_scalar_cold']:.2f}x cold",
             file=sys.stderr,
         )
     report = {

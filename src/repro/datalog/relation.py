@@ -118,7 +118,7 @@ class Relation:
                 f"relation {self.name}: tuple {tuple(values)} has arity "
                 f"{len(values)}, expected {self.arity}"
             )
-        node = TRUE
+        literals = []
         for attr, value in zip(self.attributes, values):
             if not isinstance(value, int) or not 0 <= value < attr.phys.size:
                 raise InvalidInputError(
@@ -129,8 +129,15 @@ class Relation:
                     attribute=attr.name,
                     value=value,
                 )
-            node = self.manager.and_(node, attr.phys.eq_const(value))
-        return node
+            phys = attr.phys
+            for i, level in enumerate(phys.levels):
+                literals.append(
+                    (level, bool((value >> (phys.bits - 1 - i)) & 1))
+                )
+        # A tuple is one minterm over the concatenated attribute levels:
+        # a single cube call builds it bottom-up in one pass instead of
+        # arity-many eq_const cubes glued together with and_.
+        return self.manager.cube(literals)
 
     # ------------------------------------------------------------------
     # Queries

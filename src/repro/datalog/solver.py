@@ -147,6 +147,7 @@ class Solver:
         self._instances = dict(allocator.high_water)
         # Optimize the lowered plans before any BDD state exists.
         self._strata = stratify(program)
+        self._stratum_index = {id(s): i for i, s in enumerate(self._strata)}
         self.plan_unit = PlanUnit(
             program=program, plans=self._plans, instances=self._instances
         )
@@ -265,10 +266,14 @@ class Solver:
 
     def add_tuples(self, name: str, tuples: Iterable[Sequence[int]]) -> None:
         rel = self.relation(name)
-        node = rel.node
-        for values in tuples:
-            node = self.manager.or_(node, rel._tuple_node(values))
-        rel.set_node(node)
+        # Each tuple cube is a disjoint minterm, so any OR association
+        # yields the same canonical BDD; or_all lets the backend pick
+        # the cheapest reduction shape (balanced tree, batched sweeps).
+        nodes = [rel._tuple_node(values) for values in tuples]
+        if nodes:
+            rel.set_node(
+                self.manager.or_(rel.node, self.manager.or_all(nodes))
+            )
 
     def set_node(self, name: str, node: int) -> None:
         """Install a pre-built BDD (e.g. the IEC relation of Algorithm 4)."""
@@ -614,12 +619,27 @@ class Solver:
             else:
                 deltas[pred] = self.relations[pred].node
         limit = self._iteration_limit()
+        s_idx = self._stratum_index.get(id(stratum))
+        shared_slots = (
+            self.plan_unit.stratum_shared.get(s_idx, []) if s_idx is not None else []
+        )
         for iteration in range(limit):
             self.stats.iterations += 1
             if faults.armed:
                 faults.fire("solver.stratum")
             if self._watchdog is not None:
                 self._watchdog.check()
+            # One pass over the stratum's shared operands: every plan in
+            # this iteration reads these slots instead of re-resolving its
+            # delta/recursive-relation loads.
+            shared: Optional[Dict[int, int]] = None
+            if shared_slots:
+                shared = {}
+                for slot in shared_slots:
+                    if slot.use_delta:
+                        shared[slot.slot] = deltas.get(slot.relation, FALSE)
+                    else:
+                        shared[slot.slot] = self.relations[slot.relation].node
             contributions: Dict[str, int] = {p: FALSE for p in stratum.predicates}
             for rule in self._recursive_rule_order(stratum, rule_index, iteration):
                 ridx = rule_index[id(rule)]
@@ -629,7 +649,7 @@ class Solver:
                     if deltas.get(atom.relation, FALSE) == FALSE:
                         continue  # nothing new flows through this variant
                     plan = self._plans[(ridx, atom_pos)]
-                    result = self._apply_plan(plan, deltas, defer=True)
+                    result = self._apply_plan(plan, deltas, defer=True, shared=shared)
                     head = plan.head_relation
                     contributions[head] = m.or_(contributions[head], result)
             progressed = False
@@ -676,12 +696,30 @@ class Solver:
     # ------------------------------------------------------------------
 
     def _eval_op(
-        self, op: Op, regs: List[int], deltas: Optional[Dict[str, int]]
+        self,
+        op: Op,
+        regs: List[int],
+        deltas: Optional[Dict[str, int]],
+        shared: Optional[Dict[int, int]] = None,
     ) -> int:
         """Evaluate one non-terminator op against the register file."""
         m = self.manager
         kind = op.kind
         if kind == "load":
+            if op.use_delta:
+                if deltas is None:
+                    raise DatalogError(
+                        f"delta load of {op.relation} executed without deltas"
+                    )
+                return deltas.get(op.relation, FALSE)
+            return self.relations[op.relation].node
+        if kind == "shared_load":
+            # Inside the semi-naive loop the stratum operand table holds
+            # the slot; on other paths the op self-evaluates.
+            if shared is not None:
+                node = shared.get(op.slot)
+                if node is not None:
+                    return node
             if op.use_delta:
                 if deltas is None:
                     raise DatalogError(
@@ -712,6 +750,18 @@ class Solver:
             return m.rel_prod(
                 regs[op.lhs], regs[op.rhs], m.varset(self._levels(op.refs))
             )
+        if kind == "rel_prod_replace":
+            return m.rel_prod_replace(
+                regs[op.lhs],
+                regs[op.rhs],
+                m.varset(self._levels(op.refs)),
+                self._rename_id(dict(op.mapping)),
+            )
+        if kind == "and_exist":
+            # exist(and(a, b), vs) is exactly rel_prod — one kernel call.
+            return m.rel_prod(
+                regs[op.lhs], regs[op.rhs], m.varset(self._levels(op.refs))
+            )
         raise DatalogError(f"executor: unknown op kind {kind!r}")
 
     def _hoisted_node(self, slot_id: int) -> int:
@@ -737,6 +787,7 @@ class Solver:
         plan: RulePlan,
         deltas: Optional[Dict[str, int]],
         defer: bool = False,
+        shared: Optional[Dict[int, int]] = None,
     ) -> int:
         """Execute one compiled rule variant's op program.
 
@@ -770,7 +821,7 @@ class Solver:
                     traces[i][0] += 1
                 break
             t0 = time.monotonic() if traces is not None else 0.0
-            node = self._eval_op(op, regs, deltas)
+            node = self._eval_op(op, regs, deltas, shared)
             regs[op.out] = node
             tallies[op.kind] = tallies.get(op.kind, 0) + 1
             if traces is not None:

@@ -40,6 +40,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..datalog.relation import Relation
 from ..runtime import (
     NodeBudgetExceeded,
     ResourceBudget,
@@ -234,6 +235,204 @@ class QueryEngine:
             flight.event.set()
             with self._inflight_lock:
                 self._inflight.pop(key, None)
+
+    def query_batch(
+        self,
+        requests: List[Dict[str, Any]],
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Answer a list of protocol sub-requests (the ``batch`` verb).
+
+        Homogeneous ``points-to`` point lookups are answered with one
+        BDD evaluation instead of N: the missing variables are encoded
+        as a query relation (an OR of per-variable cubes), conjoined
+        with ``vP`` (or ``vPC`` for context-sensitive items) in a single
+        ``and_``, and the joint result is decoded once and split per
+        variable.  Each split result is installed in the scalar result
+        cache under the same key the equivalent ``query`` call would
+        use, so batch warm-up benefits later point queries and vice
+        versa.  Sub-requests of any other kind — or ``points-to`` items
+        with a per-item timeout, ``no_cache``, or arguments the
+        vectorized path cannot honor — fall back to :meth:`query`
+        one by one.
+
+        Returns one entry per request, in order: a result dict on
+        success or the :class:`QueryError` the item raised.  The batch
+        itself never raises for per-item failures.
+        """
+        out: List[Any] = [None] * len(requests)
+        # key -> [(request index, cache key)]; insertion order preserved.
+        pending: "OrderedDict[Tuple[int, Optional[int]], List[Tuple[int, tuple]]]" = OrderedDict()
+        start = time.monotonic()
+
+        for i, sub in enumerate(requests):
+            kind = sub.get("kind")
+            raw_args = sub.get("args") or {}
+            if not isinstance(kind, str):
+                err = QueryError(
+                    "bad-argument", "query request lacks a string 'kind'"
+                )
+                self.metrics.observe_query(
+                    str(kind), 0.0, cache_hit=False, computed=False, error=True,
+                )
+                out[i] = err
+                continue
+            spec = self._batch_eligible(kind, sub, raw_args)
+            if spec is None:
+                try:
+                    out[i] = self.query(
+                        kind,
+                        raw_args,
+                        timeout=sub.get("timeout_s"),
+                        deadline=deadline,
+                        use_cache=not sub.get("no_cache", False),
+                    )
+                except QueryError as err:
+                    out[i] = err
+                continue
+            key = (self.db.db_id, kind, _canonical(dict(raw_args)))
+            hit = self._cache_get(key)
+            if hit is not None:
+                self.metrics.observe_query(
+                    kind, time.monotonic() - start,
+                    cache_hit=True, computed=False,
+                )
+                out[i] = hit
+                continue
+            pending.setdefault(spec, []).append((i, key))
+
+        if pending:
+            self._run_batch_misses(pending, deadline, out, start)
+        return out
+
+    def _batch_eligible(
+        self, kind: str, sub: Dict[str, Any], args: Dict[str, Any]
+    ) -> Optional[Tuple[int, Optional[int]]]:
+        """``(variable ordinal, context)`` when the vectorized path can
+        answer this sub-request exactly like :meth:`query` would;
+        ``None`` routes it through the scalar path instead."""
+        if kind != "points-to":
+            return None
+        if sub.get("no_cache", False) or sub.get("timeout_s") is not None:
+            return None
+        if not set(args) <= {"variable", "context"}:
+            return None
+        context = args.get("context")
+        if context is None:
+            rel = self.db.relations.get("vP")
+            if rel is None:
+                return None
+        else:
+            if not isinstance(context, int) or isinstance(context, bool) \
+                    or context < 0:
+                return None  # scalar path raises the bad-argument error
+            rel = self.db.relations.get("vPC")
+            if rel is None or context >= rel.attribute("context").phys.size:
+                return None
+        try:
+            v = self._resolve_var(args.get("variable"))
+        except QueryError:
+            return None  # scalar path raises the same typed error
+        return (v, context)
+
+    def _run_batch_misses(
+        self,
+        pending: "OrderedDict[Tuple[int, Optional[int]], List[Tuple[int, tuple]]]",
+        deadline: Optional[float],
+        out: List[Any],
+        start: float,
+    ) -> None:
+        """Evaluate all vector-eligible cache misses in (at most) two
+        BDD operations and distribute results/errors to their slots."""
+        try:
+            budget, deadline_bound = self._budget_for(None, deadline)
+            try:
+                with self._eval_lock:
+                    results = self._eval_batch_groups(pending, budget)
+            except SolverTimeout as err:
+                if deadline_bound:
+                    raise QueryError(
+                        "deadline-exceeded", f"deadline passed mid-query: {err}"
+                    )
+                raise QueryError("budget-exceeded", str(err))
+            except NodeBudgetExceeded as err:
+                raise QueryError("budget-exceeded", str(err))
+        except QueryError as err:
+            for slots in pending.values():
+                for i, _key in slots:
+                    self.metrics.observe_query(
+                        "points-to", time.monotonic() - start,
+                        cache_hit=False, computed=False, error=True,
+                    )
+                    out[i] = err
+            return
+        elapsed = time.monotonic() - start
+        for spec, slots in pending.items():
+            result = results[spec]
+            for i, key in slots:
+                self._cache_put(key, result)
+                self.metrics.observe_query(
+                    "points-to", elapsed, cache_hit=False, computed=True,
+                )
+                out[i] = result
+
+    def _eval_batch_groups(
+        self,
+        pending: "OrderedDict[Tuple[int, Optional[int]], List[Tuple[int, tuple]]]",
+        budget,
+    ) -> Dict[Tuple[int, Optional[int]], Dict[str, Any]]:
+        """Called under ``_eval_lock``: one joint select per relation.
+
+        Context-insensitive specs share a query against ``vP``; the
+        context-sensitive ones share a query against ``vPC`` whose cubes
+        constrain both the context and the variable block.
+        """
+        manager = self.db.manager
+        heaps = self.db.maps["H"]
+        results: Dict[Tuple[int, Optional[int]], Dict[str, Any]] = {}
+
+        ci = sorted({v for v, c in pending if c is None})
+        cs = sorted({(c, v) for v, c in pending if c is not None})
+
+        rows_ci: Dict[int, List[int]] = {v: [] for v in ci}
+        if ci:
+            rel = self.db.relation("vP")
+            var = rel.attribute("variable").phys
+            query = manager.or_all([var.eq_const(v) for v in ci])
+            joint = Relation(manager, "vP_batch", rel.attributes)
+            joint.set_node(manager.and_(rel.node, query))
+            names = [a.name for a in rel.attributes]
+            vi, hi = names.index("variable"), names.index("heap")
+            for row in self._decode(joint, budget):
+                rows_ci[row[vi]].append(row[hi])
+
+        rows_cs: Dict[Tuple[int, int], List[int]] = {cv: [] for cv in cs}
+        if cs:
+            rel = self.db.relation("vPC")
+            ctx = rel.attribute("context").phys
+            var = rel.attribute("variable").phys
+            query = manager.or_all(
+                [manager.and_(ctx.eq_const(c), var.eq_const(v)) for c, v in cs]
+            )
+            joint = Relation(manager, "vPC_batch", rel.attributes)
+            joint.set_node(manager.and_(rel.node, query))
+            names = [a.name for a in rel.attributes]
+            idx = (names.index("context"), names.index("variable"),
+                   names.index("heap"))
+            for row in self._decode(joint, budget):
+                rows_cs[(row[idx[0]], row[idx[1]])].append(row[idx[2]])
+
+        for (v, c) in pending:
+            hs = rows_ci[v] if c is None else rows_cs[(c, v)]
+            names = sorted(heaps[h] for h in hs)
+            results[(v, c)] = {
+                "variable": self.db.maps["V"][v],
+                "context": c,
+                "heaps": names,
+                "count": len(names),
+            }
+        return results
 
     def stats(self) -> Dict[str, Any]:
         with self._cache_lock:

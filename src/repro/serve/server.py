@@ -704,7 +704,9 @@ class PointsToServer:
         state: _ServeState,
         deadline: Optional[float],
     ) -> Dict[str, Any]:
-        results: List[Dict[str, Any]] = []
+        results: List[Optional[Dict[str, Any]]] = []
+        subs: List[Dict[str, Any]] = []
+        slots: List[int] = []
         for sub in request["requests"]:
             if not isinstance(sub, dict):
                 results.append(
@@ -713,15 +715,20 @@ class PointsToServer:
                     )
                 )
                 continue
+            results.append(None)
+            subs.append(sub)
+            slots.append(len(results) - 1)
+        # The engine answers the whole batch at once so homogeneous
+        # point lookups share a single vectorized BDD evaluation.
+        answers = state.engine.query_batch(subs, deadline=deadline)
+        for slot, sub, answer in zip(slots, subs, answers):
             sub_id = sub.get("id")
-            try:
-                results.append(
-                    ok_response(sub_id, self._do_query(sub, state, deadline))
+            if isinstance(answer, QueryError):
+                results[slot] = error_response(
+                    sub_id, answer.code, str(answer), details=answer.details
                 )
-            except QueryError as err:
-                results.append(
-                    error_response(sub_id, err.code, str(err), details=err.details)
-                )
+            else:
+                results[slot] = ok_response(sub_id, answer)
         return {"results": results}
 
     def _do_hello(self, state: _ServeState) -> Dict[str, Any]:

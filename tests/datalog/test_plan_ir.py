@@ -134,6 +134,7 @@ class TestPassOptions:
             "dead-op",
             "hoist",
             "cse",
+            "fuse",
             "reorder-rules",
         }
 

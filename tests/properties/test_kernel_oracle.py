@@ -59,6 +59,20 @@ def _restrict(mask, assignment):
     return mask
 
 
+def _swap(mask, a, b):
+    """Exchange variables ``a`` and ``b`` (minterm-index bit permutation).
+
+    A rename ``{source: target}`` with the target outside the function's
+    support is exactly a swap, which is what ``replace`` requires.
+    """
+    lo, hi = min(a, b), max(a, b)
+    shift = (1 << hi) - (1 << lo)
+    move_up = A1[lo] & A0[hi]  # minterms with lo=1, hi=0: move up
+    move_dn = A0[lo] & A1[hi]  # minterms with lo=0, hi=1: move down
+    keep = FULL ^ (move_up | move_dn)
+    return mask & keep | (mask & move_up) << shift | (mask & move_dn) >> shift
+
+
 def _mask_of(m, u, memo):
     """Truth mask of a kernel node, memoized per (live) handle."""
     hit = memo.get(u)
@@ -87,7 +101,8 @@ def _run(backend, seed):
     masks = [0, FULL] + [A1[v] for v in range(NV)]
     for step in range(STEPS):
         op = rng.choice(
-            ("and", "or", "diff", "xor", "not", "ite", "exist", "restrict", "gc")
+            ("and", "or", "diff", "xor", "not", "ite", "exist", "restrict",
+             "rel_prod", "rel_prod_replace", "gc")
         )
         i, j, k = (rng.randrange(len(nodes)) for _ in range(3))
         if op == "and":
@@ -112,6 +127,25 @@ def _run(backend, seed):
                 for v in rng.sample(range(NV), rng.randrange(1, 4))
             }
             u, want = m.restrict(nodes[i], assignment), _restrict(masks[i], assignment)
+        elif op == "rel_prod":
+            levels = rng.sample(range(NV), rng.randrange(0, 5))
+            u = m.rel_prod(nodes[i], nodes[j], m.varset(levels))
+            want = _exist(masks[i] & masks[j], levels)
+        elif op == "rel_prod_replace":
+            # The fused superop, under its precondition: rename targets
+            # are drawn from the quantified levels, so they are outside
+            # the support of the rel_prod result (the solver's shape —
+            # renames land on the just-vacated domain instance).
+            n_pairs = rng.randrange(1, 4)
+            chosen = rng.sample(range(NV), 2 * n_pairs)
+            quant, sources = chosen[:n_pairs], chosen[n_pairs:]
+            mapping = dict(zip(sources, quant))
+            u = m.rel_prod_replace(
+                nodes[i], nodes[j], m.varset(quant), m.replace_map(mapping)
+            )
+            want = _exist(masks[i] & masks[j], quant)
+            for s, t in mapping.items():
+                want = _swap(want, s, t)
         else:  # gc: remap every held handle, drop the stale memo
             mapping = m.collect_garbage(nodes)
             nodes = [mapping[n] for n in nodes]

@@ -1,0 +1,162 @@
+"""Batched point queries: the vectorized ``batch`` path of the engine.
+
+The contract under test: ``query_batch`` answers exactly like N
+sequential ``query`` calls — same results, same typed errors, same
+order — while evaluating homogeneous ``points-to`` misses together and
+filling the scalar result cache, and the server's ``batch`` verb rides
+the same path without changing any observable (including across a hot
+swap, where each epoch's fresh engine cache must forget old answers).
+"""
+
+import pytest
+
+from repro.serve import PointsToClient, PointsToServer, QueryEngine
+from repro.serve.engine import QueryError
+
+
+@pytest.fixture()
+def engine(loaded_db):
+    return QueryEngine(loaded_db)
+
+
+def _scalar(engine, sub):
+    try:
+        return engine.query(
+            sub["kind"], dict(sub.get("args") or {}), use_cache=False
+        )
+    except QueryError as err:
+        return ("error", err.code)
+
+
+def _normalize(answer):
+    if isinstance(answer, QueryError):
+        return ("error", answer.code)
+    return answer
+
+
+POINT_SUBS = [
+    {"kind": "points-to", "args": {"variable": "Main.main:a"}},
+    {"kind": "points-to", "args": {"variable": "Main.main:b"}},
+    {"kind": "points-to", "args": {"variable": "Main.main:c"}},
+    {"kind": "points-to", "args": {"variable": "Worker.run:private"}},
+]
+
+
+class TestParity:
+    def test_cold_batch_matches_sequential(self, engine, loaded_db):
+        fresh = QueryEngine(loaded_db)
+        batched = fresh.query_batch([dict(s) for s in POINT_SUBS])
+        expected = [_scalar(engine, s) for s in POINT_SUBS]
+        assert [_normalize(a) for a in batched] == expected
+
+    def test_warm_batch_matches_cold(self, engine):
+        cold = engine.query_batch([dict(s) for s in POINT_SUBS])
+        warm = engine.query_batch([dict(s) for s in POINT_SUBS])
+        assert warm == cold
+        # The second round is pure cache: same result objects come back.
+        assert all(w is c for w, c in zip(warm, cold))
+
+    def test_context_sensitive_items_share_one_query(self, engine):
+        subs = [
+            {"kind": "points-to", "args": {"variable": "Main.main:a", "context": 0}},
+            {"kind": "points-to", "args": {"variable": "Main.main:a", "context": 1}},
+            {"kind": "points-to", "args": {"variable": "Main.main:b", "context": 1}},
+        ]
+        batched = engine.query_batch([dict(s) for s in subs])
+        expected = [_scalar(engine, s) for s in subs]
+        assert [_normalize(a) for a in batched] == expected
+
+    def test_batch_fills_scalar_cache(self, engine):
+        (result,) = engine.query_batch(
+            [{"kind": "points-to", "args": {"variable": "Main.main:a"}}]
+        )
+        assert engine.stats()["cache_entries"] == 1
+        # A later scalar query is a cache hit: the very same dict.
+        assert engine.query("points-to", {"variable": "Main.main:a"}) is result
+
+    def test_duplicate_items_answered_consistently(self, engine):
+        sub = {"kind": "points-to", "args": {"variable": "Main.main:a"}}
+        a, b = engine.query_batch([dict(sub), dict(sub)])
+        assert a == b
+
+
+class TestScalarFallback:
+    def test_mixed_kinds_answered_in_order(self, engine):
+        subs = [
+            {"kind": "points-to", "args": {"variable": "Main.main:a"}},
+            {"kind": "aliases",
+             "args": {"variable1": "Main.main:a", "variable2": "Main.main:c"}},
+            {"kind": "points-to", "args": {"variable": "No.such:var"}},
+            {"kind": "escape", "args": {"heap": "<missing>"}},
+        ]
+        batched = engine.query_batch([dict(s) for s in subs])
+        expected = [_scalar(engine, s) for s in subs]
+        assert [_normalize(a) for a in batched] == expected
+
+    def test_typed_errors_stay_in_place(self, engine):
+        subs = [
+            {"kind": "points-to", "args": {"variable": "No.such:var"}},
+            {"kind": "points-to", "args": {"variable": "Main.main:a"}},
+            {"kind": "points-to", "args": {}},
+        ]
+        batched = engine.query_batch(subs)
+        assert isinstance(batched[0], QueryError)
+        assert batched[0].code == "not-found"
+        assert batched[1]["count"] >= 1
+        assert isinstance(batched[2], QueryError)
+        assert batched[2].code == "bad-argument"
+
+    def test_no_cache_item_bypasses_the_cache(self, engine):
+        sub = {
+            "kind": "points-to",
+            "args": {"variable": "Main.main:a"},
+            "no_cache": True,
+        }
+        (result,) = engine.query_batch([sub])
+        assert result["count"] >= 1
+        assert engine.stats()["cache_entries"] == 0
+
+    def test_bad_context_type_rejected_like_scalar(self, engine):
+        (answer,) = engine.query_batch(
+            [{"kind": "points-to",
+              "args": {"variable": "Main.main:a", "context": "zero"}}]
+        )
+        assert isinstance(answer, QueryError)
+        assert answer.code == "bad-argument"
+
+    def test_missing_kind_rejected(self, engine):
+        (answer,) = engine.query_batch([{"args": {"variable": "Main.main:a"}}])
+        assert isinstance(answer, QueryError)
+        assert answer.code == "bad-argument"
+
+
+class TestServerBatchVerb:
+    @pytest.fixture()
+    def server(self, loaded_db):
+        srv = PointsToServer(loaded_db, port=0)
+        srv.start()
+        yield srv
+        srv.shutdown(drain_timeout=2.0)
+
+    def test_wire_batch_matches_wire_queries(self, server):
+        with PointsToClient(*server.address) as client:
+            responses = client.batch([dict(s) for s in POINT_SUBS])
+            for sub, resp in zip(POINT_SUBS, responses):
+                assert resp["ok"] is True
+                assert resp["result"] == client.query(
+                    sub["kind"], sub["args"]
+                )
+
+    def test_batch_cache_invalidated_by_hot_swap(self, server, db_path_v2):
+        sub = {"kind": "points-to", "args": {"variable": "Main.main:a"}}
+        with PointsToClient(*server.address) as client:
+            (before,) = client.batch([dict(sub)])
+            assert before["result"]["count"] == 1
+            # Warm the per-epoch cache, then swap the database.
+            (warm,) = client.batch([dict(sub)])
+            assert warm["result"]["count"] == 1
+            client.reload(path=db_path_v2)
+            # The new epoch's engine starts cold: the batched answer
+            # reflects the v2 database, not the old cache entry.
+            (after,) = client.batch([dict(sub)])
+            assert after["result"]["count"] == 2
