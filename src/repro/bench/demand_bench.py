@@ -1,0 +1,262 @@
+"""Benchmark demand-driven resolution against its two alternatives.
+
+A query for a variable outside the compiled database's budget class has
+three possible costs:
+
+* **demand** — the serve engine's goal-directed evaluator: magic-sets
+  rewrite of the Algorithm 5 rules, seeded with the one goal tuple and
+  pushed to fixpoint (cold = evaluator construction + first solve;
+  incremental = further goals reusing the materialized sub-relations),
+* **re-solve** — what answering without demand would cost: a fresh,
+  exhaustive ``compile-db`` of the whole program, and
+* **warm hit** — the floor: the same query answered from the engine's
+  result cache once demand has materialized it.
+
+Every timed cell is *answer-identity gated*: the demand answer must
+equal the exhaustive database's answer for every sampled variable (and
+every sampled context), on every backend, or the run fails with
+``RuntimeError`` and no timings are written.  The gate result is
+recorded per cell (``identity_checked`` / ``identical``).
+
+Output: ``results/BENCH_demand.json``.  Run as::
+
+    python -m repro.bench.demand_bench --entries freetts jetty
+    python -m repro.bench.demand_bench --smoke   # CI: small + fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..serve import PointsToDatabase, QueryEngine, compile_database
+from .corpus import corpus_entry
+
+__all__ = ["run_demand_bench", "main"]
+
+_DEFAULT_ENTRIES = ("freetts", "jetty")
+_DEFAULT_BACKENDS = ("reference", "packed")
+# Generated corpus programs keep their allocation-heavy worker methods
+# in the ``Layers`` class; covering only ``Util.*`` leaves all of them
+# outside the budget class — the worst (= most honest) case for demand.
+_BUDGET_CLASS = "Util.*"
+_DEFAULT_TARGETS = 6
+
+
+def _uncovered_specs(db: PointsToDatabase, count: int) -> List[str]:
+    """Variable specs the compiled budget class does not cover."""
+    out = []
+    for spec in sorted(db.var_reps):
+        try:
+            v = db.var_id(spec)
+        except KeyError:
+            continue
+        if not db.covers_variable(v):
+            out.append(spec)
+        if len(out) >= count:
+            break
+    return out
+
+
+def _gate_identity(
+    full_engine: QueryEngine,
+    demand_engine: QueryEngine,
+    specs: Sequence[str],
+    contexts: Sequence[Optional[int]],
+) -> int:
+    """Raise unless demand answers match the exhaustive database."""
+    checked = 0
+    for spec in specs:
+        for c in contexts:
+            args = {"variable": spec, "context": c}
+            want = full_engine.query("points-to", dict(args))
+            got = demand_engine.query("points-to", dict(args))
+            if got["heaps"] != want["heaps"]:
+                raise RuntimeError(
+                    f"answer identity violated for {spec!r} (context {c}): "
+                    f"demand={got['heaps']} exhaustive={want['heaps']} — "
+                    "timings withheld"
+                )
+            if not want["demand"] and not got["demand"]:
+                raise RuntimeError(
+                    f"{spec!r} was expected to route to demand but did not"
+                )
+            checked += 1
+    return checked
+
+
+def bench_cell(
+    name: str,
+    backend: str,
+    *,
+    targets: int = _DEFAULT_TARGETS,
+    workdir: Optional[str] = None,
+) -> Dict[str, Any]:
+    program = corpus_entry(name).build()
+
+    # The re-solve baseline IS a full compile: answering an uncovered
+    # query without demand means re-running compile-db unrestricted.
+    t0 = time.perf_counter()
+    full = compile_database(program, backend=backend)
+    resolve_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restricted = compile_database(
+        program, backend=backend, budget_class=_BUDGET_CLASS
+    )
+    restricted_compile_s = time.perf_counter() - t0
+
+    # Serve path: the restricted artifact is saved and loaded back, the
+    # way a real server would hold it.
+    directory = pathlib.Path(workdir) if workdir else pathlib.Path(
+        tempfile.mkdtemp(prefix="demand-bench-")
+    )
+    db_path = str(directory / f"{name}-{backend}.ptdb")
+    restricted.save(db_path)
+    loaded = PointsToDatabase.load(db_path, backend=backend)
+
+    specs = _uncovered_specs(loaded, targets)
+    if not specs:
+        raise RuntimeError(
+            f"budget class {_BUDGET_CLASS!r} left no uncovered variables "
+            f"in {name} — nothing for demand to answer"
+        )
+
+    engine = QueryEngine(loaded, cache_size=4096)
+
+    # Cold: evaluator construction + the first goal-directed solve.
+    t0 = time.perf_counter()
+    engine.query("points-to", {"variable": specs[0]})
+    demand_cold_s = time.perf_counter() - t0
+
+    # Incremental: new goals against the already-materialized solver.
+    incr: List[float] = []
+    for spec in specs[1:]:
+        t0 = time.perf_counter()
+        engine.query("points-to", {"variable": spec})
+        incr.append(time.perf_counter() - t0)
+
+    # Warm hit: the cache floor for an already-answered demand query.
+    t0 = time.perf_counter()
+    engine.query("points-to", {"variable": specs[0]})
+    warm_hit_s = time.perf_counter() - t0
+
+    full_engine = QueryEngine(full, cache_size=4096)
+    checked = _gate_identity(full_engine, engine, specs, (None, 0))
+
+    if demand_cold_s >= resolve_s:
+        raise RuntimeError(
+            f"{name}/{backend}: cold demand ({demand_cold_s:.3f}s) is not "
+            f"faster than a full re-solve ({resolve_s:.3f}s) — the "
+            "goal-directed path lost its reason to exist"
+        )
+
+    stats = engine.stats()["demand"]
+    return {
+        "entry": name,
+        "backend": backend,
+        "budget_class": _BUDGET_CLASS,
+        "uncovered_sampled": len(specs),
+        "resolve_s": round(resolve_s, 4),
+        "restricted_compile_s": round(restricted_compile_s, 4),
+        "demand_cold_s": round(demand_cold_s, 4),
+        "demand_incremental_s": [round(s, 6) for s in incr],
+        "demand_incremental_mean_s": round(
+            sum(incr) / len(incr), 6
+        ) if incr else None,
+        "warm_hit_s": round(warm_hit_s, 7),
+        "speedup_demand_vs_resolve": round(resolve_s / demand_cold_s, 2),
+        "demand_solves": stats["solves"],
+        "demand_solve_seconds": stats["solve_seconds"],
+        "identity_checked": checked,
+        "identical": True,
+    }
+
+
+def run_demand_bench(
+    entries: Sequence[str] = _DEFAULT_ENTRIES,
+    backends: Sequence[str] = _DEFAULT_BACKENDS,
+    *,
+    targets: int = _DEFAULT_TARGETS,
+    out: str = "results/BENCH_demand.json",
+    workdir: Optional[str] = None,
+) -> Dict[str, Any]:
+    cells: List[Dict[str, Any]] = []
+    for name in entries:
+        for backend in backends:
+            print(f"== {name} / {backend} ==", file=sys.stderr)
+            cell = bench_cell(
+                name, backend, targets=targets, workdir=workdir
+            )
+            cells.append(cell)
+            print(
+                f"  re-solve {cell['resolve_s']:.2f}s, demand cold "
+                f"{cell['demand_cold_s']:.3f}s "
+                f"({cell['speedup_demand_vs_resolve']:.1f}x), warm hit "
+                f"{cell['warm_hit_s'] * 1e6:.0f}us, identity "
+                f"{cell['identity_checked']} checks ok",
+                file=sys.stderr,
+            )
+    report = {
+        "benchmark": "demand",
+        "budget_class": _BUDGET_CLASS,
+        "entries": list(entries),
+        "backends": list(backends),
+        "cells": cells,
+    }
+    out_path = pathlib.Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.demand_bench",
+        description="Benchmark goal-directed demand resolution",
+    )
+    parser.add_argument(
+        "--entries", nargs="+", default=list(_DEFAULT_ENTRIES),
+        help="corpus entries to benchmark (default: freetts jetty)",
+    )
+    parser.add_argument(
+        "--backends", nargs="+", default=list(_DEFAULT_BACKENDS),
+        help="BDD backends to benchmark (default: reference packed)",
+    )
+    parser.add_argument(
+        "--targets", type=int, default=_DEFAULT_TARGETS,
+        help="uncovered variables to demand-query per cell (default 6)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: smallest entry, both backends, fewer targets",
+    )
+    parser.add_argument(
+        "--out", default="results/BENCH_demand.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for .ptdb scratch files (default: temp dir)",
+    )
+    args = parser.parse_args(argv)
+    entries = ["freetts"] if args.smoke else args.entries
+    targets = 3 if args.smoke else args.targets
+    run_demand_bench(
+        entries,
+        args.backends,
+        targets=targets,
+        out=args.out,
+        workdir=args.workdir,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -88,6 +88,7 @@ __all__ = [
     "EXIT_OK",
     "EXIT_VULNERABLE",
     "EXIT_USAGE",
+    "EXIT_SOLVE_FALLBACK",
     "EXIT_DATAERR",
     "EXIT_NOINPUT",
     "EXIT_UNAVAILABLE",
@@ -98,6 +99,10 @@ __all__ = [
 EXIT_OK = 0
 EXIT_VULNERABLE = 1
 EXIT_USAGE = 2
+# The query was answered, but only by solving the whole program because
+# no --db was given: scripted callers can branch on this and switch to
+# 'repro compile-db' + --db (or --demand for restricted databases).
+EXIT_SOLVE_FALLBACK = 3
 EXIT_DATAERR = 65
 EXIT_NOINPUT = 66
 EXIT_UNAVAILABLE = 69  # sysexits EX_UNAVAILABLE: server absent/overloaded
@@ -383,6 +388,7 @@ _QUERY_ERROR_EXITS = {
     "unknown-query": EXIT_USAGE,
     "not-found": EXIT_DATAERR,
     "unsupported": EXIT_DATAERR,
+    "demand-unavailable": EXIT_DATAERR,
     "reload-failed": EXIT_DATAERR,
     "budget-exceeded": EXIT_BUDGET,
     "deadline-exceeded": EXIT_BUDGET,
@@ -416,10 +422,15 @@ def _cmd_query(args) -> int:
     print(
         f"repro: solved the whole program in {elapsed:.2f}s to answer one "
         f"query; run 'repro compile-db {args.program}' once and pass --db "
-        f"to make queries instant",
+        f"(add --demand for queries outside the db's budget class) to "
+        f"make queries instant",
         file=sys.stderr,
     )
-    return code
+    # A successful answer still exits with a distinct code so scripted
+    # callers can tell "answered from a snapshot" (0) apart from
+    # "answered, but paid a full solve" (3).  Meaningful non-zero codes
+    # (e.g. vuln's EXIT_VULNERABLE) pass through untouched.
+    return EXIT_SOLVE_FALLBACK if code == EXIT_OK else code
 
 
 def _demand_query_args(args) -> dict:
@@ -460,7 +471,9 @@ def _query_db(args) -> int:
     if _reject_solve_kind(args):
         return EXIT_USAGE
     db = PointsToDatabase.load(args.db, backend=args.backend)
-    engine = QueryEngine(db, default_timeout=args.timeout)
+    engine = QueryEngine(
+        db, default_timeout=args.timeout, enable_demand=args.demand
+    )
     try:
         result = engine.query(args.kind, _demand_query_args(args))
     except QueryError as err:
@@ -673,6 +686,7 @@ def _cmd_compile_db(args) -> int:
         source_sha256=hashlib.sha256(source_text.encode()).hexdigest(),
         main=args.main,
         modref=not args.no_modref,
+        budget_class=args.budget_class,
         budget=_budget_of(args),
         backend=args.backend,
     )
@@ -961,6 +975,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="context number for points-to / mod-ref (with --db)",
     )
     p_query.add_argument(
+        "--demand", action="store_true",
+        help="answer cache misses the database cannot (mod-ref without "
+        "the fragment, variables outside --budget-class) by goal-"
+        "directed demand evaluation instead of failing",
+    )
+    p_query.add_argument(
         "--server", metavar="HOST:PORT",
         help="answer from a running 'repro serve' instance (resilient "
         "client: reconnect, backoff, circuit breaker; exit 69 when the "
@@ -1005,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--no-modref", action="store_true",
         help="skip the mod-ref fragment (smaller db, no mod-ref queries)",
+    )
+    p_compile.add_argument(
+        "--budget-class", metavar="PATTERN",
+        help="restrict the stored vP/vPC to variables of methods whose "
+        "qualified name matches PATTERN (fnmatch); queries outside the "
+        "class need 'repro query --demand'",
     )
     p_compile.add_argument(
         "--no-fixpoint", action="store_true",

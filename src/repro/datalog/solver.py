@@ -446,6 +446,11 @@ class Solver:
                 reads_shrunk = False
                 reads_grown = False
                 negates_changed = False
+                # An *externally* grown stratum-internal predicate (an
+                # input with rules — magic-rewritten programs seed their
+                # recursive magic relations this way) restarts this
+                # stratum's own semi-naive loop from that delta.
+                grows_internal = any(p in pending for p in stratum.predicates)
                 for rule in stratum.rules:
                     for atom in rule.positive_atoms:
                         name = atom.relation
@@ -458,7 +463,10 @@ class Solver:
                     for atom in rule.negative_atoms:
                         if atom.relation in changed:
                             negates_changed = True
-                if not (reads_shrunk or reads_grown or negates_changed):
+                if not (
+                    reads_shrunk or reads_grown or negates_changed
+                    or grows_internal
+                ):
                     self.last_completed_stratum = index
                     continue
                 before = {
@@ -500,6 +508,64 @@ class Solver:
         self._solved = True
         return self.stats
 
+    def solve_demand(
+        self,
+        seeds: Dict[str, Iterable[Sequence[int]]],
+        budget: Optional[ResourceBudget] = None,
+    ) -> SolveStats:
+        """Goal-directed (re-)solve for a magic-rewritten program.
+
+        ``seeds`` maps magic input relations (see
+        :mod:`repro.datalog.magic`) to the query-constant tuples that
+        should be added to them.  The first call runs a full — but
+        goal-restricted — :meth:`solve`; later calls push only the *new*
+        seed tuples through the delta rule variants
+        (:meth:`solve_incremental`), so previously derived sub-relations
+        are reused verbatim: the solver itself is the warm cache.
+
+        ``budget`` temporarily overrides the solver budget for this call
+        (the per-query :class:`ResourceBudget` of the serve engine).  On
+        a budget fault the solver is left resumable: relations hold a
+        monotone partial state and ``_solved`` is cleared, so the next
+        call re-runs the (goal-restricted) fixpoint from where it
+        stopped instead of trusting a half-pushed delta.
+        """
+        m = self.manager
+        added: Dict[str, int] = {}
+        for name, tuples in seeds.items():
+            rel = self.relation(name)
+            nodes = [rel._tuple_node(values) for values in tuples]
+            if not nodes:
+                continue
+            node = m.or_all(nodes)
+            delta = m.diff(node, rel.node)
+            if delta == FALSE:
+                continue
+            rel.set_node(m.or_(rel.node, delta))
+            added[name] = delta
+        previous_budget = self.budget
+        if budget is not None:
+            self.budget = budget
+        try:
+            if not self._solved:
+                # Also covers resumption after a mid-solve budget fault:
+                # semi-naive restart with full deltas from the partial
+                # (monotone) state is sound.
+                return self.solve()
+            if added:
+                try:
+                    return self.solve_incremental(added)
+                except ReproError:
+                    # The delta push may have committed derivations whose
+                    # consequences were never propagated; replaying the
+                    # same deltas would miss them.  Fall back to a full
+                    # goal-restricted re-solve on the next attempt.
+                    self._solved = False
+                    raise
+            return self.stats
+        finally:
+            self.budget = previous_budget
+
     def _push_deltas(
         self,
         stratum: Stratum,
@@ -532,10 +598,17 @@ class Solver:
         for pred in stratum.predicates:
             rel = self.relations[pred]
             delta = m.diff(init[pred], rel.node)
-            deltas[pred] = delta
             if delta != FALSE:
                 rel.set_node(m.or_(rel.node, delta))
                 progressed = True
+            # Externally added tuples of a stratum-internal predicate
+            # (already stored in the relation by the caller) must still
+            # seed the loop — diff against the stored value misses them.
+            internal = pending.get(pred)
+            if internal is not None and internal != FALSE:
+                delta = m.or_(delta, internal)
+                progressed = True
+            deltas[pred] = delta
         if progressed and stratum.recursive_rules:
             if self.naive:
                 self._solve_stratum_naive(stratum, rule_index)

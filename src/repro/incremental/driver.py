@@ -425,6 +425,7 @@ def _warm_recompile(
         max_paths=max_paths,
         thread_sites=thread_sites,
         modref=modref,
+        budget_class=db.meta.get("config", {}).get("budget_class"),
         main=main,
         timings=timings,
         provenance=dict(provenance, modes=modes),

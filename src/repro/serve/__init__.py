@@ -32,6 +32,7 @@ from .database import (
     compile_database_with_state,
     package_database,
 )
+from .demand import DemandEvaluator, DemandUnavailable
 from .engine import QUERY_KINDS, QueryEngine, QueryError
 from .metrics import Metrics
 from .protocol import MAX_BATCH, MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError
@@ -53,6 +54,8 @@ __all__ = [
     "QUERY_KINDS",
     "CircuitBreaker",
     "ConnectionLostError",
+    "DemandEvaluator",
+    "DemandUnavailable",
     "Metrics",
     "PointsToClient",
     "PointsToDatabase",

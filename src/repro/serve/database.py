@@ -34,12 +34,13 @@ node is rebuilt.
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..bdd import BDDError, Domain, create_kernel
 from ..bdd.serialize import dump_bdd_lines, parse_bdd_lines
@@ -142,6 +143,7 @@ class PointsToDatabase:
             spec: int(v) for spec, v in meta.get("var_reps", {}).items()
         }
         self._indexes: Dict[str, Dict[str, int]] = {}
+        self._uncovered_vars: Optional[Set[int]] = None
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -188,6 +190,30 @@ class PointsToDatabase:
             return self.id_of("M", qualified)
         except KeyError:
             raise KeyError(f"no method {qualified!r} in the database")
+
+    @property
+    def budget_class(self) -> Optional[str]:
+        """The ``--budget-class`` method pattern this database was
+        restricted to at compile time, or ``None`` for a full database."""
+        return self.meta.get("config", {}).get("budget_class")
+
+    def covers_variable(self, ordinal: int) -> bool:
+        """Whether ``vP``/``vPC`` were materialized for this variable.
+
+        Always true for an unrestricted database.  For a budget-class
+        database the answer comes from the embedded ``mV`` facts: a
+        lookup for an uncovered variable must be routed to demand
+        evaluation, never answered by the (falsely empty) restriction.
+        """
+        pattern = self.budget_class
+        if pattern is None:
+            return True
+        if self._uncovered_vars is None:
+            mv = self.meta.get("facts", {}).get("relations", {}).get("mV", ())
+            self._uncovered_vars = _uncovered_variables(
+                self.maps.get("M", ()), mv, pattern
+            )
+        return ordinal not in self._uncovered_vars
 
     def summary(self) -> Dict[str, Any]:
         """One-screen description (CLI ``compile-db`` output, ``info`` verb)."""
@@ -405,6 +431,32 @@ def _facts_meta(facts: Facts, thread_sites: Sequence[Tuple[int, int]]) -> Dict[s
     }
 
 
+def _uncovered_variables(
+    method_names: Sequence[str],
+    mv_tuples: Sequence[Sequence[int]],
+    pattern: str,
+) -> Set[int]:
+    """Variable ordinals outside a ``--budget-class`` method pattern.
+
+    A variable is covered when some method whose qualified name matches
+    ``pattern`` (fnmatch, case-sensitive) declares it in ``mV``.
+    Variables absent from ``mV`` entirely stay covered — restricting
+    them would silently falsify lookups the pattern says nothing about.
+    """
+    matching = {
+        i
+        for i, name in enumerate(method_names)
+        if fnmatch.fnmatchcase(name, pattern)
+    }
+    member: Set[int] = set()
+    covered: Set[int] = set()
+    for m, v in mv_tuples:
+        member.add(v)
+        if m in matching:
+            covered.add(v)
+    return member - covered
+
+
 def package_database(
     facts: Facts,
     cs_solver,
@@ -414,6 +466,7 @@ def package_database(
     max_paths: int,
     thread_sites: Sequence[Tuple[int, int]],
     modref: bool = True,
+    budget_class: Optional[str] = None,
     main: str = "Main",
     source_path: Optional[str] = None,
     source_sha256: Optional[str] = None,
@@ -439,6 +492,21 @@ def package_database(
             relations["vP"] = rel
         elif name in cs_solver.relations:
             relations[name] = cs_solver.relation(name)
+
+    if budget_class:
+        uncovered = _uncovered_variables(
+            facts.maps["M"], facts.relations.get("mV", ()), budget_class
+        )
+        manager = cs_solver.manager
+        for name in ("vPC", "vP"):
+            rel = relations.get(name)
+            if rel is None or not uncovered:
+                continue
+            var = rel.attribute("variable").phys
+            cut = manager.or_all([var.eq_const(v) for v in sorted(uncovered)])
+            restricted = Relation(manager, name, rel.attributes)
+            restricted.set_node(manager.diff(rel.node, cut))
+            relations[name] = restricted
 
     schema = []
     for name, rel in relations.items():
@@ -496,6 +564,8 @@ def package_database(
             "order_spec": cs_solver.order_spec,
             "type_filtering": True,
         },
+        # (budget_class added below only when set, so unrestricted
+        # databases keep their pre-existing db_id.)
         "paths": max_paths,
         "stats": {
             "iterations": cs_solver.stats.iterations,
@@ -506,6 +576,8 @@ def package_database(
             },
         },
     }
+    if budget_class:
+        meta["config"]["budget_class"] = budget_class
     if provenance is not None:
         meta["provenance"] = provenance
     # The in-memory db_id must match what a later load computes, so it is
@@ -531,6 +603,7 @@ def compile_database_with_state(
     source_sha256: Optional[str] = None,
     main: str = "Main",
     modref: bool = True,
+    budget_class: Optional[str] = None,
     budget: Optional[ResourceBudget] = None,
     order_spec: Optional[str] = None,
     backend: Optional[str] = None,
@@ -634,6 +707,7 @@ def compile_database_with_state(
         max_paths=cs.max_paths(),
         thread_sites=thread_sites,
         modref=modref,
+        budget_class=budget_class,
         main=main,
         source_path=source_path,
         source_sha256=source_sha256,

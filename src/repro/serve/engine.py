@@ -48,6 +48,7 @@ from ..runtime import (
     Watchdog,
 )
 from .database import PointsToDatabase
+from .demand import DemandEvaluator, DemandUnavailable
 from .metrics import Metrics
 
 __all__ = ["QueryEngine", "QueryError", "QUERY_KINDS"]
@@ -63,11 +64,12 @@ class QueryError(Exception):
     """A query failed in a way the client should see as a typed error.
 
     ``code`` is one of the protocol error codes (``bad-argument``,
-    ``not-found``, ``unsupported``, ``budget-exceeded``,
-    ``deadline-exceeded``, ``overloaded``, ``reload-failed``) or one of
-    the client-side transport codes (``connection-lost``,
-    ``circuit-open``) — the whole typed-failure hierarchy of the serve
-    subsystem roots here, so one exit-code map covers it.
+    ``not-found``, ``unsupported``, ``demand-unavailable``,
+    ``budget-exceeded``, ``deadline-exceeded``, ``overloaded``,
+    ``reload-failed``) or one of the client-side transport codes
+    (``connection-lost``, ``circuit-open``) — the whole typed-failure
+    hierarchy of the serve subsystem roots here, so one exit-code map
+    covers it.
     """
 
     def __init__(
@@ -101,10 +103,19 @@ class QueryEngine:
         cache_size: int = _DEFAULT_CACHE_SIZE,
         default_timeout: Optional[float] = None,
         metrics: Optional[Metrics] = None,
+        enable_demand: bool = True,
     ) -> None:
         self.db = db
         self.metrics = metrics if metrics is not None else Metrics()
         self.default_timeout = default_timeout
+        # Demand evaluation closes the misses a snapshot cannot answer
+        # (budget-class-uncovered variables, mod-ref without the
+        # fragment).  The evaluator is built lazily on the first eligible
+        # miss and lives exactly as long as this engine — one per serve
+        # epoch, so a hot swap drops all derived sub-relations at once.
+        self.enable_demand = enable_demand
+        self._demand_eval: Optional[DemandEvaluator] = None
+        self._demand_error: Optional[str] = None
         self._cache_size = max(0, int(cache_size))
         self._cache: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -174,10 +185,16 @@ class QueryEngine:
         if use_cache:
             hit = self._cache_get(key)
             if hit is not None:
+                negative = hit.get("__query_error__")
                 self.metrics.observe_query(
                     kind, time.monotonic() - start,
                     cache_hit=True, computed=False,
+                    error=negative is not None,
                 )
+                if negative is not None:
+                    # A cached typed failure: repeating the lookup would
+                    # fail identically, so replay it without the lock.
+                    raise QueryError(negative[0], negative[1])
                 return hit
 
         # In-flight dedup: first thread computes, the rest wait.
@@ -226,6 +243,13 @@ class QueryEngine:
             return result
         except QueryError as err:
             flight.error = err
+            if use_cache and err.code == "not-found":
+                # Name-resolution failures are as stable as the database
+                # itself (the key includes db_id): cache the typed error
+                # so repeated lookups of a missing name skip the lock.
+                self._cache_put(
+                    key, {"__query_error__": (err.code, str(err))}
+                )
             self.metrics.observe_query(
                 kind, time.monotonic() - start,
                 cache_hit=False, computed=False, error=True,
@@ -294,11 +318,17 @@ class QueryEngine:
             key = (self.db.db_id, kind, _canonical(dict(raw_args)))
             hit = self._cache_get(key)
             if hit is not None:
+                negative = hit.get("__query_error__")
                 self.metrics.observe_query(
                     kind, time.monotonic() - start,
                     cache_hit=True, computed=False,
+                    error=negative is not None,
                 )
-                out[i] = hit
+                out[i] = (
+                    QueryError(negative[0], negative[1])
+                    if negative is not None
+                    else hit
+                )
                 continue
             pending.setdefault(spec, []).append((i, key))
 
@@ -334,6 +364,8 @@ class QueryEngine:
             v = self._resolve_var(args.get("variable"))
         except QueryError:
             return None  # scalar path raises the same typed error
+        if not self.db.covers_variable(v):
+            return None  # scalar path routes it to demand evaluation
         return (v, context)
 
     def _run_batch_misses(
@@ -431,16 +463,23 @@ class QueryEngine:
                 "context": c,
                 "heaps": names,
                 "count": len(names),
+                "demand": False,
             }
         return results
 
     def stats(self) -> Dict[str, Any]:
         with self._cache_lock:
             cached = len(self._cache)
+        demand: Dict[str, Any] = {"enabled": self.enable_demand}
+        if self._demand_error is not None:
+            demand["unavailable"] = self._demand_error
+        if self._demand_eval is not None:
+            demand.update(self._demand_eval.stats())
         return {
             "db_id": self.db.db_id,
             "cache_entries": cached,
             "cache_capacity": self._cache_size,
+            "demand": demand,
         }
 
     def clear_cache(self) -> None:
@@ -498,6 +537,57 @@ class QueryEngine:
         finally:
             if budget is not None:
                 manager.clear_watchdog()
+
+    # ------------------------------------------------------------------
+    # Demand evaluation (called under _eval_lock)
+    # ------------------------------------------------------------------
+
+    def _demand_for(self, reason: str) -> DemandEvaluator:
+        """The demand evaluator, built lazily on first eligible miss.
+
+        Raises a typed ``demand-unavailable`` :class:`QueryError` when
+        demand evaluation is disabled or this database cannot support it
+        (construction failures are cached — one diagnosis per epoch).
+        """
+        if not self.enable_demand:
+            raise QueryError(
+                "demand-unavailable",
+                f"{reason}, and demand evaluation is disabled "
+                "(re-run with --demand)",
+            )
+        if self._demand_error is not None:
+            raise QueryError(
+                "demand-unavailable", f"{reason}; {self._demand_error}"
+            )
+        if self._demand_eval is None:
+            try:
+                self._demand_eval = DemandEvaluator(
+                    self.db, backend=self.db.manager.backend_name
+                )
+            except DemandUnavailable as err:
+                self._demand_error = str(err)
+                raise QueryError(
+                    "demand-unavailable", f"{reason}; {err}"
+                )
+        return self._demand_eval
+
+    def _run_demand(self, kind: str, reason: str, fn):
+        """One demand evaluation with per-kind metrics accounting."""
+        start = time.monotonic()
+        try:
+            result = fn(self._demand_for(reason))
+        except QueryError:
+            self.metrics.observe_demand(
+                kind, time.monotonic() - start, "miss"
+            )
+            raise
+        except (SolverTimeout, NodeBudgetExceeded):
+            self.metrics.observe_demand(
+                kind, time.monotonic() - start, "budget"
+            )
+            raise
+        self.metrics.observe_demand(kind, time.monotonic() - start, "hit")
+        return result
 
     @staticmethod
     def _decode(relation, budget, limit: Optional[int] = None) -> List[tuple]:
@@ -578,83 +668,129 @@ class QueryEngine:
         v = self._resolve_var(self._need(args, "variable"))
         context = args.pop("context", None)
         self._reject_extras(args)
+        if context is not None and (
+            not isinstance(context, int) or context < 0
+        ):
+            raise QueryError(
+                "bad-argument", f"context must be a non-negative int, got {context!r}"
+            )
         heaps = self.db.maps["H"]
-        if context is None:
+        demand = not self.db.covers_variable(v)
+        if demand:
+            # The snapshot's vP/vPC were restricted away from this
+            # variable at compile time — a select would be silently
+            # empty.  Derive its points-to set goal-directedly instead.
+            sel = self._run_demand(
+                "points-to",
+                f"variable {self.db.maps['V'][v]!r} is outside the "
+                f"database's budget class {self.db.budget_class!r}",
+                lambda ev: ev.points_to(v, context, budget),
+            )
+        elif context is None:
             sel = self.db.relation("vP").select(variable=v)
-            rows = self._decode(sel, budget)
-            names = sorted(heaps[h] for (h,) in rows)
         else:
-            if not isinstance(context, int) or context < 0:
-                raise QueryError(
-                    "bad-argument", f"context must be a non-negative int, got {context!r}"
-                )
             sel = self.db.relation("vPC").select(context=context, variable=v)
-            rows = self._decode(sel, budget)
-            names = sorted(heaps[h] for (h,) in rows)
+        rows = self._decode(sel, budget)
+        names = sorted(heaps[h] for (h,) in rows)
         return {
             "variable": self.db.maps["V"][v],
             "context": context,
             "heaps": names,
             "count": len(names),
+            "demand": demand,
         }
 
     def _eval_aliases(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
         v1 = self._resolve_var(self._need(args, "variable1"))
         v2 = self._resolve_var(self._need(args, "variable2"))
         self._reject_extras(args)
-        vP = self.db.relation("vP")
-        manager = self.db.manager
-        # points-to(v1) AND points-to(v2): both selects leave only the H
-        # block, so a plain conjunction is the intersection.
-        s1 = vP.select(variable=v1)
-        s2 = vP.select(variable=v2)
-        common = s1
-        common.set_node(manager.and_(s1.node, s2.node))
-        rows = self._decode(common, budget)
         heaps = self.db.maps["H"]
-        names = sorted(heaps[h] for (h,) in rows)
+        demand = not (
+            self.db.covers_variable(v1) and self.db.covers_variable(v2)
+        )
+        if demand:
+            uncovered = [
+                self.db.maps["V"][v]
+                for v in (v1, v2)
+                if not self.db.covers_variable(v)
+            ]
+            s1, s2 = self._run_demand(
+                "aliases",
+                f"variable(s) {uncovered} are outside the database's "
+                f"budget class {self.db.budget_class!r}",
+                lambda ev: ev.alias_heaps(v1, v2, budget),
+            )
+            h1 = {h for (h,) in self._decode(s1, budget)}
+            h2 = {h for (h,) in self._decode(s2, budget)}
+            names = sorted(heaps[h] for h in h1 & h2)
+        else:
+            vP = self.db.relation("vP")
+            manager = self.db.manager
+            # points-to(v1) AND points-to(v2): both selects leave only
+            # the H block, so a plain conjunction is the intersection.
+            s1 = vP.select(variable=v1)
+            s2 = vP.select(variable=v2)
+            common = s1
+            common.set_node(manager.and_(s1.node, s2.node))
+            rows = self._decode(common, budget)
+            names = sorted(heaps[h] for (h,) in rows)
         return {
             "variable1": self.db.maps["V"][v1],
             "variable2": self.db.maps["V"][v2],
             "may_alias": bool(names),
             "common_heaps": names,
+            "demand": demand,
         }
 
     def _eval_mod_ref(self, args: Dict[str, Any], budget) -> Dict[str, Any]:
         m = self._resolve_method(self._need(args, "method"))
         context = args.pop("context", None)
         self._reject_extras(args)
-        if not (self.db.has_relation("mod") and self.db.has_relation("ref")):
-            raise QueryError(
-                "unsupported",
-                "database was compiled without the mod-ref fragment "
-                "(re-run 'repro compile-db' without --no-modref)",
-            )
-        heaps = self.db.maps["H"]
-        fields = self.db.maps["F"]
-
-        def side(name: str) -> List[List[str]]:
-            rel = self.db.relation(name)
-            if context is None:
-                sel = rel.select(m=m).project("heap", "field")
-            else:
-                sel = rel.select(c=context, m=m)
-            rows = self._decode(sel, budget)
-            return sorted(
-                [heaps[h], fields[f]] for (h, f) in rows
-            )
-
         if context is not None and (not isinstance(context, int) or context < 0):
             raise QueryError(
                 "bad-argument", f"context must be a non-negative int, got {context!r}"
             )
-        mod = side("mod")
-        ref = side("ref")
+        heaps = self.db.maps["H"]
+        fields = self.db.maps["F"]
+
+        def encode(rel) -> List[List[str]]:
+            rows = self._decode(rel, budget)
+            return sorted([heaps[h], fields[f]] for (h, f) in rows)
+
+        demand = not (
+            self.db.has_relation("mod") and self.db.has_relation("ref")
+        )
+        if demand:
+            if not self.enable_demand:
+                # Preserve the pre-demand contract for engines that
+                # opted out: the historical typed error.
+                raise QueryError(
+                    "unsupported",
+                    "database was compiled without the mod-ref fragment "
+                    "(re-run 'repro compile-db' without --no-modref, or "
+                    "query with --demand)",
+                )
+            mod_rel, ref_rel = self._run_demand(
+                "mod-ref",
+                "database was compiled without the mod-ref fragment",
+                lambda ev: ev.mod_ref(m, context, budget),
+            )
+            mod, ref = encode(mod_rel), encode(ref_rel)
+        else:
+
+            def side(name: str):
+                rel = self.db.relation(name)
+                if context is None:
+                    return rel.select(m=m).project("heap", "field")
+                return rel.select(c=context, m=m)
+
+            mod, ref = encode(side("mod")), encode(side("ref"))
         return {
             "method": self.db.maps["M"][m],
             "context": context,
             "mod": mod,
             "ref": ref,
+            "demand": demand,
         }
 
     def _eval_callers(self, args: Dict[str, Any], budget) -> Dict[str, Any]:

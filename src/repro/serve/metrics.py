@@ -37,6 +37,8 @@ class _KindStats:
     __slots__ = (
         "requests", "errors", "cache_hits", "cache_misses", "computes",
         "total_seconds", "samples", "next_slot",
+        "demand_hits", "demand_misses", "demand_budget_exceeded",
+        "demand_samples", "demand_next_slot",
     )
 
     def __init__(self) -> None:
@@ -48,6 +50,14 @@ class _KindStats:
         self.total_seconds = 0.0
         self.samples: List[float] = []
         self.next_slot = 0
+        # Demand evaluation outcomes: hits answered goal-directedly,
+        # misses that fell back to ``demand-unavailable``, and attempts
+        # that blew their per-query budget.
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.demand_budget_exceeded = 0
+        self.demand_samples: List[float] = []
+        self.demand_next_slot = 0
 
     def observe(self, seconds: float) -> None:
         self.total_seconds += seconds
@@ -57,9 +67,22 @@ class _KindStats:
             self.samples[self.next_slot] = seconds
             self.next_slot = (self.next_slot + 1) % _RESERVOIR
 
+    def observe_demand(self, seconds: float, outcome: str) -> None:
+        if outcome == "hit":
+            self.demand_hits += 1
+        elif outcome == "budget":
+            self.demand_budget_exceeded += 1
+        else:
+            self.demand_misses += 1
+        if len(self.demand_samples) < _RESERVOIR:
+            self.demand_samples.append(seconds)
+        else:
+            self.demand_samples[self.demand_next_slot] = seconds
+            self.demand_next_slot = (self.demand_next_slot + 1) % _RESERVOIR
+
     def snapshot(self) -> Dict[str, Any]:
         ordered = sorted(self.samples)
-        return {
+        out = {
             "requests": self.requests,
             "errors": self.errors,
             "cache_hits": self.cache_hits,
@@ -73,6 +96,20 @@ class _KindStats:
                 "p99": round(percentile(ordered, 99), 6),
             },
         }
+        if self.demand_samples or self.demand_misses:
+            demand_ordered = sorted(self.demand_samples)
+            out["demand"] = {
+                "hits": self.demand_hits,
+                "misses": self.demand_misses,
+                "budget_exceeded": self.demand_budget_exceeded,
+                "latency_s": {
+                    "count": len(demand_ordered),
+                    "p50": round(percentile(demand_ordered, 50), 6),
+                    "p95": round(percentile(demand_ordered, 95), 6),
+                    "p99": round(percentile(demand_ordered, 99), 6),
+                },
+            }
+        return out
 
 
 class Metrics:
@@ -149,6 +186,13 @@ class Metrics:
             if computed:
                 stats.computes += 1
             stats.observe(seconds)
+
+    def observe_demand(self, kind: str, seconds: float, outcome: str) -> None:
+        """One demand evaluation for ``kind``: ``outcome`` is ``"hit"``
+        (answered goal-directedly), ``"miss"`` (demand unavailable), or
+        ``"budget"`` (the attempt blew its per-query budget)."""
+        with self._lock:
+            self._kind(kind).observe_demand(seconds, outcome)
 
     def wire_hit(self, kind: str, seconds: float) -> None:
         """A wire-cache hit: one lock acquisition for the whole hot path
@@ -241,6 +285,16 @@ class Metrics:
                 f"p50={lat['p50'] * 1e3:.2f}ms p95={lat['p95'] * 1e3:.2f}ms "
                 f"p99={lat['p99'] * 1e3:.2f}ms"
             )
+            demand = k.get("demand")
+            if demand:
+                dlat = demand["latency_s"]
+                lines.append(
+                    f"    demand hit={demand['hits']:<5} "
+                    f"miss={demand['misses']:<5} "
+                    f"budget={demand['budget_exceeded']:<5} "
+                    f"p50={dlat['p50'] * 1e3:.2f}ms "
+                    f"p95={dlat['p95'] * 1e3:.2f}ms"
+                )
         if snap["protocol_errors"]:
             pairs = ", ".join(
                 f"{code}={n}" for code, n in sorted(snap["protocol_errors"].items())

@@ -87,7 +87,9 @@ class TestAnalyze:
 
 class TestQueries:
     def test_escape_query(self, clean_file, capsys):
-        assert main(["query", clean_file, "--no-library", "--kind", "escape"]) == 0
+        # Exit 3 (EXIT_SOLVE_FALLBACK): answered, but via a full solve
+        # because no --db was given.
+        assert main(["query", clean_file, "--no-library", "--kind", "escape"]) == 3
         out = capsys.readouterr().out
         assert "escaped 1" in out  # just the global
 
@@ -96,21 +98,21 @@ class TestQueries:
         assert "VULNERABLE" in capsys.readouterr().out
 
     def test_vuln_query_passes_clean_program(self, clean_file, capsys):
-        assert main(["query", clean_file, "--kind", "vuln"]) == 0
+        assert main(["query", clean_file, "--kind", "vuln"]) == 3
         assert "clean" in capsys.readouterr().out
 
     def test_casts_query(self, vulnerable_file, capsys):
-        assert main(["query", vulnerable_file, "--kind", "casts"]) == 0
+        assert main(["query", vulnerable_file, "--kind", "casts"]) == 3
         out = capsys.readouterr().out
         assert "may fail" in out  # (String) o is not provably safe
 
     def test_devirt_query(self, vulnerable_file, capsys):
-        assert main(["query", vulnerable_file, "--kind", "devirt"]) == 0
+        assert main(["query", vulnerable_file, "--kind", "devirt"]) == 3
         out = capsys.readouterr().out
         assert "monomorphic" in out
 
     def test_refinement_query(self, clean_file, capsys):
-        assert main(["query", clean_file, "--no-library", "--kind", "refinement"]) == 0
+        assert main(["query", clean_file, "--no-library", "--kind", "refinement"]) == 3
         out = capsys.readouterr().out
         assert "multi-typed" in out
         assert "context-sensitive (full)" in out
@@ -481,11 +483,13 @@ class TestCompileDb:
 
 class TestQueryNotice:
     def test_solve_query_prints_compile_db_hint(self, clean_file, capsys):
+        # Distinct exit code: answered, but only by a whole-program solve.
         assert main(["query", "--kind", "escape", clean_file,
-                     "--no-library"]) == 0
+                     "--no-library"]) == 3
         err = capsys.readouterr().err
         assert "solved the whole program" in err
         assert "compile-db" in err
+        assert "--demand" in err
 
     def test_demand_kind_without_db_is_usage_error(self, capsys):
         code = main(["query", "--kind", "points-to"])
